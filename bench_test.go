@@ -1,0 +1,192 @@
+// Benchmarks regenerating the experimental study of "Keys for Graphs"
+// (§6): one benchmark per figure panel of Fig. 8 plus Table 2 and the
+// optimization ablations. Each sub-benchmark fixes one x-axis point of
+// the corresponding panel and one algorithm, so `go test -bench=.`
+// produces the full series. cmd/embench prints the same experiments as
+// formatted tables; EXPERIMENTS.md records paper-vs-measured shapes.
+package graphkeys
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphkeys/internal/bench"
+	"graphkeys/internal/gen"
+)
+
+// benchScale keeps a single iteration in the low-millisecond range so
+// the full suite stays runnable; scale up via cmd/embench for larger
+// runs.
+const benchScale = 0.35
+
+var (
+	workloadMu    sync.Mutex
+	workloadCache = map[string]*gen.Workload{}
+)
+
+// workload builds (and caches) the workload for a dataset and key
+// parameters.
+func workload(b *testing.B, ds bench.Dataset, scale float64, c, d int) *gen.Workload {
+	b.Helper()
+	key := fmt.Sprintf("%v-%v-%d-%d", ds, scale, c, d)
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	if w, ok := workloadCache[key]; ok {
+		return w
+	}
+	w, err := bench.Build(ds, bench.BuildConfig{Seed: 1, Scale: scale, C: c, D: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workloadCache[key] = w
+	return w
+}
+
+// runAlgo runs one algorithm once and validates the result.
+func runAlgo(b *testing.B, w *gen.Workload, a bench.Algo, p int) {
+	b.Helper()
+	m, err := bench.RunAlgo(w, a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !m.Correct {
+		b.Fatalf("%v produced a wrong result", a)
+	}
+}
+
+// exp1 is the Fig. 8(a)/(e)/(i) shape: all algorithms, varying p.
+func exp1(b *testing.B, ds bench.Dataset) {
+	w := workload(b, ds, benchScale, 2, 2)
+	algos := []bench.Algo{bench.AlgoEMMR, bench.AlgoEMOptMR, bench.AlgoEMVC, bench.AlgoEMOptVC}
+	for _, p := range []int{4, 8, 12, 16, 20} {
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("p%02d/%v", p, a), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runAlgo(b, w, a, p)
+				}
+			})
+		}
+	}
+}
+
+// exp2 is the Fig. 8(b)/(f)/(j) shape: varying the scale factor, p=4.
+func exp2(b *testing.B, ds bench.Dataset) {
+	for _, s := range []float64{0.2, 0.6, 1.0} {
+		w := workload(b, ds, s*benchScale, 2, 2)
+		for _, a := range []bench.Algo{bench.AlgoEMOptMR, bench.AlgoEMOptVC} {
+			b.Run(fmt.Sprintf("scale%.1f/%v", s, a), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runAlgo(b, w, a, 4)
+				}
+			})
+		}
+	}
+}
+
+// exp3c is the Fig. 8(c)/(g)/(k) shape: varying the dependency chain c.
+func exp3c(b *testing.B, ds bench.Dataset) {
+	for _, c := range []int{1, 3, 5} {
+		w := workload(b, ds, benchScale, c, 2)
+		for _, a := range []bench.Algo{bench.AlgoEMOptMR, bench.AlgoEMOptVC} {
+			b.Run(fmt.Sprintf("c%d/%v", c, a), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runAlgo(b, w, a, 4)
+				}
+			})
+		}
+	}
+}
+
+// exp3d is the Fig. 8(d)/(h)/(l) shape: varying the key radius d.
+func exp3d(b *testing.B, ds bench.Dataset) {
+	for _, d := range []int{1, 2, 3} {
+		w := workload(b, ds, benchScale, 2, d)
+		for _, a := range []bench.Algo{bench.AlgoEMOptMR, bench.AlgoEMOptVC} {
+			b.Run(fmt.Sprintf("d%d/%v", d, a), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runAlgo(b, w, a, 4)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig8aVaryPGoogle(b *testing.B)    { exp1(b, bench.GoogleDS) }
+func BenchmarkFig8bVaryGGoogle(b *testing.B)    { exp2(b, bench.GoogleDS) }
+func BenchmarkFig8cVaryCGoogle(b *testing.B)    { exp3c(b, bench.GoogleDS) }
+func BenchmarkFig8dVaryDGoogle(b *testing.B)    { exp3d(b, bench.GoogleDS) }
+func BenchmarkFig8eVaryPDBpedia(b *testing.B)   { exp1(b, bench.DBpediaDS) }
+func BenchmarkFig8fVaryGDBpedia(b *testing.B)   { exp2(b, bench.DBpediaDS) }
+func BenchmarkFig8gVaryCDBpedia(b *testing.B)   { exp3c(b, bench.DBpediaDS) }
+func BenchmarkFig8hVaryDDBpedia(b *testing.B)   { exp3d(b, bench.DBpediaDS) }
+func BenchmarkFig8iVaryPSynthetic(b *testing.B) { exp1(b, bench.SyntheticDS) }
+func BenchmarkFig8jVaryGSynthetic(b *testing.B) { exp2(b, bench.SyntheticDS) }
+func BenchmarkFig8kVaryCSynthetic(b *testing.B) { exp3c(b, bench.SyntheticDS) }
+func BenchmarkFig8lVaryDSynthetic(b *testing.B) { exp3d(b, bench.SyntheticDS) }
+
+// BenchmarkTable2Candidates reproduces Table 2: the optimized
+// algorithms per dataset; candidate and confirmed counts are reported
+// as benchmark metrics.
+func BenchmarkTable2Candidates(b *testing.B) {
+	for _, ds := range []bench.Dataset{bench.GoogleDS, bench.DBpediaDS, bench.SyntheticDS} {
+		w := workload(b, ds, benchScale, 2, 2)
+		for _, a := range []bench.Algo{bench.AlgoEMOptVC, bench.AlgoEMOptMR} {
+			b.Run(fmt.Sprintf("%v/%v", ds, a), func(b *testing.B) {
+				var cands, confirmed int
+				for i := 0; i < b.N; i++ {
+					m, err := bench.RunAlgo(w, a, 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !m.Correct {
+						b.Fatal("wrong result")
+					}
+					cands, confirmed = m.Candidates, m.Pairs
+				}
+				b.ReportMetric(float64(cands), "candidates")
+				b.ReportMetric(float64(confirmed), "confirmed")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationGuidedVsVF2 measures the EvalMR guided search with
+// early termination against the VF2 enumerate-all baseline (the EMMR
+// vs EMVF2MR comparison of §6).
+func BenchmarkAblationGuidedVsVF2(b *testing.B) {
+	w := workload(b, bench.SyntheticDS, benchScale, 2, 2)
+	for _, a := range []bench.Algo{bench.AlgoEMMR, bench.AlgoEMVF2MR} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runAlgo(b, w, a, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPairing measures the §4.2 optimizations (EMOptMR vs
+// EMMR).
+func BenchmarkAblationPairing(b *testing.B) {
+	w := workload(b, bench.SyntheticDS, benchScale, 2, 2)
+	for _, a := range []bench.Algo{bench.AlgoEMMR, bench.AlgoEMOptMR} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runAlgo(b, w, a, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBoundedMessages measures bounded messages and
+// prioritized propagation (EMOptVC vs EMVC, §5.2).
+func BenchmarkAblationBoundedMessages(b *testing.B) {
+	w := workload(b, bench.SyntheticDS, benchScale, 2, 2)
+	for _, a := range []bench.Algo{bench.AlgoEMVC, bench.AlgoEMOptVC} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runAlgo(b, w, a, 4)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package graphkeys
+
+import (
+	"fmt"
+
+	"graphkeys/internal/discover"
+	"graphkeys/internal/keys"
+	"graphkeys/internal/pattern"
+)
+
+// DiscoverOptions bounds key discovery (the §7 future-work direction of
+// the paper, provided here as a baseline levelwise miner).
+type DiscoverOptions struct {
+	// MaxAttrs bounds the number of triples adjacent to x in a mined
+	// key; 0 means 3.
+	MaxAttrs int
+	// MinSupport is the minimum fraction of entities of the type that
+	// must carry all the key's attributes; 0 means 0.5.
+	MinSupport float64
+	// AllowRecursive also proposes keys with an entity variable.
+	AllowRecursive bool
+}
+
+// DiscoveredKey is a mined key with its quality measures.
+type DiscoveredKey struct {
+	// Name is the generated key name; DSL is the key in the key DSL,
+	// parseable by ParseKeys.
+	Name, DSL string
+	// Support is the fraction of entities of the type the key applies
+	// to; Recursive reports whether it contains an entity variable.
+	Support   float64
+	Recursive bool
+}
+
+// DiscoverKeys mines keys for entities of the given type that hold on g
+// (no two distinct entities coincide) and meet the support threshold.
+// Results are minimal (no proposed key is a superset of another) and
+// ordered smallest-first.
+func DiscoverKeys(g *Graph, typeName string, opts DiscoverOptions) ([]DiscoveredKey, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graphkeys: DiscoverKeys requires a graph")
+	}
+	cands, err := discover.Discover(g.g, typeName, discover.Options{
+		MaxAttrs:       opts.MaxAttrs,
+		MinSupport:     opts.MinSupport,
+		AllowRecursive: opts.AllowRecursive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DiscoveredKey, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, DiscoveredKey{
+			Name:      c.Key.Name,
+			DSL:       pattern.Format(c.Key),
+			Support:   c.Support,
+			Recursive: c.Recursive,
+		})
+	}
+	return out, nil
+}
+
+// KeySetFromDiscovered bundles mined keys into a KeySet usable with
+// Match and Validate.
+func KeySetFromDiscovered(ks []DiscoveredKey) (*KeySet, error) {
+	var dsl string
+	for _, k := range ks {
+		dsl += k.DSL + "\n"
+	}
+	set, err := keys.ParseString(dsl)
+	if err != nil {
+		return nil, err
+	}
+	return &KeySet{set: set}, nil
+}

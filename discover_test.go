@@ -1,0 +1,73 @@
+package graphkeys
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDiscoverKeysPublicAPI: mined keys parse, hold on the graph, and
+// actually match duplicates on a second graph with the same schema.
+func TestDiscoverKeysPublicAPI(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("p%d", i)
+		if err := g.AddEntity(id, "product"); err != nil {
+			t.Fatal(err)
+		}
+		_ = g.AddValueTriple(id, "sku", fmt.Sprintf("SKU-%d", i))
+		_ = g.AddValueTriple(id, "color", []string{"red", "blue"}[i%2])
+	}
+	ks, err := DiscoverKeys(g, "product", DiscoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) == 0 {
+		t.Fatal("no keys discovered")
+	}
+	if !strings.Contains(ks[0].DSL, "sku") {
+		t.Errorf("first key = %q, want the sku key", ks[0].DSL)
+	}
+	set, err := KeySetFromDiscovered(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The keys hold on the mining graph.
+	vs, err := Validate(g, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("discovered keys violated on mining graph: %+v", vs)
+	}
+	// A dirty graph with a planted duplicate is caught.
+	dirty := NewGraph()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := dirty.AddEntity(id, "product"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = dirty.AddValueTriple("a", "sku", "SKU-1")
+	_ = dirty.AddValueTriple("b", "sku", "SKU-1")
+	_ = dirty.AddValueTriple("c", "sku", "SKU-2")
+	res, err := Match(dirty, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0] != (Pair{A: "a", B: "b"}) {
+		t.Errorf("matches = %v, want [(a, b)]", res.Matches)
+	}
+}
+
+func TestDiscoverKeysErrors(t *testing.T) {
+	if _, err := DiscoverKeys(nil, "t", DiscoverOptions{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := NewGraph()
+	if _, err := DiscoverKeys(g, "ghost", DiscoverOptions{}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := KeySetFromDiscovered(nil); err == nil {
+		t.Error("empty discovered set accepted")
+	}
+}

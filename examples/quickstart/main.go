@@ -1,0 +1,52 @@
+// Command quickstart is the smallest end-to-end use of graphkeys:
+// define a value-based key, build a graph with a duplicate, and match.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphkeys"
+)
+
+func main() {
+	g := graphkeys.NewGraph()
+	must(g.AddEntity("alb1", "album"))
+	must(g.AddEntity("alb2", "album"))
+	must(g.AddEntity("alb3", "album"))
+	must(g.AddValueTriple("alb1", "name_of", "Anthology 2"))
+	must(g.AddValueTriple("alb2", "name_of", "Anthology 2"))
+	must(g.AddValueTriple("alb3", "name_of", "Anthology 2"))
+	must(g.AddValueTriple("alb1", "release_year", "1996"))
+	must(g.AddValueTriple("alb2", "release_year", "1996"))
+	must(g.AddValueTriple("alb3", "release_year", "2003"))
+
+	ks, err := graphkeys.ParseKeys(`
+# An album is identified by its name and year of initial release.
+key Q2 for album {
+    x -name_of-> name*
+    x -release_year-> year*
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := graphkeys.Match(g, ks, graphkeys.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d entities, %d triples; keys: %d\n",
+		g.NumEntities(), g.NumTriples(), ks.Len())
+	for _, m := range res.Matches {
+		fmt.Printf("%s and %s refer to the same album\n", m.A, m.B)
+	}
+	if len(res.Matches) == 0 {
+		fmt.Println("no duplicates found")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package chase implements the entity matching problem of "Keys for
+// Graphs" (§3.1) as a sequential reference algorithm: the revised chase
+// that repeatedly applies keys as rules until the equivalence relation
+// Eq reaches its fixpoint, chase(G, Σ).
+//
+// This implementation is the ground truth the parallel engines (EMMR and
+// EMVC families) are tested against: by the Church–Rosser property
+// (Proposition 1) every terminal chasing sequence has the same result,
+// so any correct engine must produce exactly the same pair set.
+//
+// The package also materializes proof graphs (the witnesses behind
+// Theorem 2's NP upper bound): DAGs of chase steps justifying an
+// identification, independently verifiable in polynomial time.
+package chase
+
+import (
+	"fmt"
+
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+	"graphkeys/internal/match"
+)
+
+// Step is one chase step Eq ⇒(e1,e2) Eq′: the pair identified, the key
+// that identified it, and the recursive-entity-variable prerequisites
+// that were in Eq at the time.
+type Step struct {
+	Pair     eqrel.Pair
+	Key      string
+	Requires []eqrel.Pair
+}
+
+// Result is the outcome of a terminal chasing sequence.
+type Result struct {
+	// Eq is chase(G, Σ) as an equivalence relation over node IDs.
+	Eq *eqrel.Eq
+	// Pairs is chase(G, Σ) materialized: all non-trivial identified
+	// entity pairs (including those implied by transitivity), sorted.
+	Pairs []eqrel.Pair
+	// Steps is the chasing sequence actually taken, in order.
+	Steps []Step
+	// Candidates is the size of the candidate set L used.
+	Candidates int
+	// IsoSteps counts guided-search steps across all checks, the
+	// sequential analogue of the engines' work counters.
+	IsoSteps int
+}
+
+// Identified reports whether (G, Σ) ⊨ (e1, e2) in this result.
+func (r *Result) Identified(e1, e2 graph.NodeID) bool {
+	return r.Eq.Same(int32(e1), int32(e2))
+}
+
+// Options configures a chase run.
+type Options struct {
+	Match match.Options
+	// Order optionally permutes the candidate list before each sweep;
+	// it exists so tests can exercise the Church–Rosser property by
+	// applying keys in different orders. It must be a permutation.
+	Order func(pairs []eqrel.Pair)
+	// UseVF2 selects the enumerate-then-coincide baseline checker
+	// instead of the guided search; results must be identical.
+	UseVF2 bool
+	// UsePairing filters the candidate set by the pairing necessary
+	// condition before chasing; results must be identical.
+	UsePairing bool
+}
+
+// Run computes chase(G, Σ). It sweeps the candidate set until a sweep
+// identifies nothing new; each sweep consults the Eq computed so far, so
+// recursively defined keys fire as soon as their prerequisites are in.
+func Run(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
+	m, err := match.New(g, set, opts.Match)
+	if err != nil {
+		return nil, err
+	}
+	var cands []eqrel.Pair
+	if opts.UsePairing {
+		cands = m.CandidatesPaired()
+	} else {
+		cands = m.Candidates()
+	}
+	if opts.Order != nil {
+		cands = append([]eqrel.Pair(nil), cands...)
+		opts.Order(cands)
+	}
+	res := &Result{
+		Eq:         eqrel.New(g.NumNodes()),
+		Candidates: len(cands),
+	}
+	for {
+		changed := false
+		for _, pr := range cands {
+			if res.Eq.Same(pr.A, pr.B) {
+				continue
+			}
+			e1, e2 := graph.NodeID(pr.A), graph.NodeID(pr.B)
+			ok, key, reqs, steps := identify(m, e1, e2, res.Eq, opts.UseVF2)
+			res.IsoSteps += steps
+			if !ok {
+				continue
+			}
+			res.Eq.Union(pr.A, pr.B)
+			res.Steps = append(res.Steps, Step{Pair: pr, Key: key, Requires: reqs})
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Pairs = res.Eq.Pairs(keyedEntities(g, m))
+	return res, nil
+}
+
+// identify runs one chase-step check with the configured checker,
+// returning the identifying key name and the witness prerequisites.
+func identify(m *match.Matcher, e1, e2 graph.NodeID, eq match.EqView, useVF2 bool) (ok bool, key string, reqs []eqrel.Pair, steps int) {
+	if useVF2 {
+		got, ck, s := m.IdentifiedVF2(e1, e2, eq)
+		if !got {
+			return false, "", nil, s
+		}
+		// Re-derive the witness with the guided search for the proof
+		// graph; the extra cost is one successful check.
+		okW, raw, s2 := m.IdentifiedByKeyWitness(ck, e1, e2, m.Neighborhood(e1), m.Neighborhood(e2), eq)
+		if !okW {
+			// The two checkers must agree; treat disagreement as a bug.
+			panic(fmt.Sprintf("chase: VF2 identified (%d,%d) by %s but guided search did not", e1, e2, ck.Key.Name))
+		}
+		return true, ck.Key.Name, toPairs(raw), s + s2
+	}
+	t := m.G.TypeOf(e1)
+	g1d, g2d := m.Neighborhood(e1), m.Neighborhood(e2)
+	for _, ck := range m.KeysFor(t) {
+		got, raw, s := m.IdentifiedByKeyWitness(ck, e1, e2, g1d, g2d, eq)
+		steps += s
+		if got {
+			return true, ck.Key.Name, toPairs(raw), steps
+		}
+	}
+	return false, "", nil, steps
+}
+
+func toPairs(raw [][2]graph.NodeID) []eqrel.Pair {
+	out := make([]eqrel.Pair, 0, len(raw))
+	for _, r := range raw {
+		out = append(out, eqrel.MakePair(int32(r[0]), int32(r[1])))
+	}
+	return out
+}
+
+// keyedEntities lists the entities whose types have keys: the universe
+// over which chase(G,Σ) pairs are reported.
+func keyedEntities(g *graph.Graph, m *match.Matcher) []int32 {
+	var out []int32
+	for _, t := range m.KeyedTypes() {
+		for _, e := range g.EntitiesOfType(t) {
+			out = append(out, int32(e))
+		}
+	}
+	return out
+}
+
+// Violation is a witness that G ⊭ Q(x): two distinct entities whose
+// matches of Q coincide under plain node identity.
+type Violation struct {
+	Pair eqrel.Pair
+	Key  string
+}
+
+// Violations checks key satisfaction (§2.2): it returns, for every key,
+// the pairs of distinct entities identified by that key alone under the
+// node-identity relation Eq0. An empty result means G ⊨ Σ.
+func Violations(g *graph.Graph, set *keys.Set, opts match.Options) ([]Violation, error) {
+	m, err := match.New(g, set, opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	id := match.Identity()
+	for _, pr := range m.Candidates() {
+		e1, e2 := graph.NodeID(pr.A), graph.NodeID(pr.B)
+		t := m.G.TypeOf(e1)
+		for _, ck := range m.KeysFor(t) {
+			ok, _ := m.IdentifiedByKey(ck, e1, e2, m.Neighborhood(e1), m.Neighborhood(e2), id)
+			if ok {
+				out = append(out, Violation{Pair: pr, Key: ck.Key.Name})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package discover
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"graphkeys/internal/chase"
+	"graphkeys/internal/fixtures"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/match"
+)
+
+// TestDiscoverValueKey: a type uniquely identified by one attribute
+// yields that single-attribute key, minimal (no supersets proposed).
+func TestDiscoverValueKey(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		e := g.MustAddEntity(fmt.Sprintf("e%d", i), "item")
+		g.MustAddTriple(e, "sku", g.AddValue(fmt.Sprintf("sku-%d", i)))
+		g.MustAddTriple(e, "color", g.AddValue([]string{"red", "blue"}[i%2]))
+	}
+	cands, err := Discover(g, "item", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no keys discovered")
+	}
+	// sku alone must be the first (smallest) key; color alone is not a
+	// key; color+sku is non-minimal and must not appear.
+	first := cands[0]
+	if first.Key.Size() != 1 || !strings.Contains(first.Key.Pattern.String(), "sku") {
+		t.Errorf("first key = %s (size %d), want the sku key", first.Key.Pattern.String(), first.Key.Size())
+	}
+	for _, c := range cands {
+		body := c.Key.Pattern.String()
+		if strings.Contains(body, "sku") && c.Key.Size() > 1 {
+			t.Errorf("non-minimal superset of sku proposed: %s", body)
+		}
+		if c.Key.Size() == 1 && strings.Contains(body, "color") {
+			t.Errorf("color alone proposed as key")
+		}
+	}
+}
+
+// TestDiscoverComposite: two attributes that identify only jointly.
+func TestDiscoverComposite(t *testing.T) {
+	g := graph.New()
+	// (name, year) unique; name alone and year alone collide.
+	data := [][2]string{{"A", "1"}, {"A", "2"}, {"B", "1"}, {"B", "2"}}
+	for i, d := range data {
+		e := g.MustAddEntity(fmt.Sprintf("e%d", i), "album")
+		g.MustAddTriple(e, "name", g.AddValue(d[0]))
+		g.MustAddTriple(e, "year", g.AddValue(d[1]))
+	}
+	cands, err := Discover(g, "album", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want exactly the composite key", len(cands))
+	}
+	if cands[0].Key.Size() != 2 {
+		t.Errorf("key size = %d, want 2", cands[0].Key.Size())
+	}
+	if cands[0].Support != 1.0 {
+		t.Errorf("support = %v, want 1.0", cands[0].Support)
+	}
+}
+
+// TestDiscoveredKeysHold: every discovered key satisfies G ⊨ Q — the
+// chase under the discovered set identifies nothing.
+func TestDiscoveredKeysHold(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 8; i++ {
+		e := g.MustAddEntity(fmt.Sprintf("p%d", i), "person")
+		g.MustAddTriple(e, "email", g.AddValue(fmt.Sprintf("p%d@x.org", i)))
+		g.MustAddTriple(e, "city", g.AddValue([]string{"A", "B", "C"}[i%3]))
+		g.MustAddTriple(e, "nick", g.AddValue(fmt.Sprintf("nick%d", i%4)))
+	}
+	cands, err := Discover(g, "person", Options{MaxAttrs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no keys discovered")
+	}
+	set, err := AsKeySet(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := chase.Violations(g, set, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("discovered keys are violated on their own graph: %+v", vs)
+	}
+}
+
+// TestDiscoverRecursive: with recursion allowed, a type identifiable
+// only via an entity neighbor yields an entity-variable key.
+func TestDiscoverRecursive(t *testing.T) {
+	g := graph.New()
+	// Artists share names; only the recorded album distinguishes them.
+	albums := make([]graph.NodeID, 4)
+	for i := range albums {
+		albums[i] = g.MustAddEntity(fmt.Sprintf("alb%d", i), "album")
+	}
+	for i := 0; i < 4; i++ {
+		a := g.MustAddEntity(fmt.Sprintf("art%d", i), "artist")
+		g.MustAddTriple(a, "name", g.AddValue([]string{"X", "Y"}[i%2]))
+		g.MustAddTriple(albums[i], "recorded_by", a)
+	}
+	noRec, err := Discover(g, "artist", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range noRec {
+		if c.Recursive {
+			t.Errorf("recursive key proposed without AllowRecursive: %s", c.Key.Pattern.String())
+		}
+	}
+	rec, err := Discover(g, "artist", Options{AllowRecursive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRecursive := false
+	for _, c := range rec {
+		if c.Recursive {
+			foundRecursive = true
+		}
+	}
+	if !foundRecursive {
+		t.Error("no recursive key discovered despite AllowRecursive")
+	}
+}
+
+// TestDiscoverSupportThreshold: attributes carried by too few entities
+// are not proposed.
+func TestDiscoverSupportThreshold(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		e := g.MustAddEntity(fmt.Sprintf("e%d", i), "t")
+		g.MustAddTriple(e, "common", g.AddValue(fmt.Sprintf("c%d", i)))
+		if i == 0 {
+			g.MustAddTriple(e, "rare", g.AddValue("r"))
+		}
+	}
+	cands, err := Discover(g, "t", Options{MinSupport: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if strings.Contains(c.Key.Pattern.String(), "rare") {
+			t.Errorf("low-support attribute proposed: %s", c.Key.Pattern.String())
+		}
+	}
+}
+
+// TestDiscoverOnMusicFixture: on the paper's G1 — which violates Q2 —
+// name/year must NOT be proposed (alb1 and alb2 coincide), showing the
+// miner respects actual duplicates in the data.
+func TestDiscoverOnMusicFixture(t *testing.T) {
+	g := fixtures.MusicGraph()
+	cands, err := Discover(g, "album", Options{MaxAttrs: 2})
+	if err != nil {
+		// All-attribute collisions can leave nothing to propose; that
+		// is acceptable as long as it is an explicit error.
+		t.Skipf("no keys discoverable on G1: %v", err)
+	}
+	for _, c := range cands {
+		body := c.Key.Pattern.String()
+		if strings.Contains(body, "name_of") && strings.Contains(body, "release_year") && c.Key.Size() == 2 {
+			t.Errorf("name+year proposed as key although alb1/alb2 violate it")
+		}
+	}
+}
+
+// TestDiscoverErrors: degenerate inputs fail loudly.
+func TestDiscoverErrors(t *testing.T) {
+	g := graph.New()
+	if _, err := Discover(g, "ghost", Options{}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	g.MustAddEntity("only", "solo")
+	if _, err := Discover(g, "solo", Options{}); err == nil {
+		t.Error("single-entity type accepted")
+	}
+	e1 := g.MustAddEntity("a", "bare")
+	e2 := g.MustAddEntity("b", "bare")
+	_, _ = e1, e2
+	if _, err := Discover(g, "bare", Options{}); err == nil {
+		t.Error("attribute-less type accepted")
+	}
+}
+
+// TestMultiValuedAttributeNotKey: an entity with two values for an
+// attribute shares one of them with another entity; the attribute must
+// not be proposed (existential match semantics).
+func TestMultiValuedAttributeNotKey(t *testing.T) {
+	g := graph.New()
+	e1 := g.MustAddEntity("e1", "t")
+	e2 := g.MustAddEntity("e2", "t")
+	g.MustAddTriple(e1, "tag", g.AddValue("shared"))
+	g.MustAddTriple(e1, "tag", g.AddValue("unique1"))
+	g.MustAddTriple(e2, "tag", g.AddValue("shared"))
+	cands, err := Discover(g, "t", Options{MaxAttrs: 1})
+	if err == nil {
+		for _, c := range cands {
+			if strings.Contains(c.Key.Pattern.String(), "tag") {
+				t.Errorf("tag proposed although e1/e2 share a tag value")
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package emvc
+
+import (
+	"graphkeys/internal/graph"
+	"graphkeys/internal/match"
+	"graphkeys/internal/pattern"
+)
+
+// tourStep is one hop of the traversal order P_Q of §5.1: traverse
+// pattern triple Triple from pattern node From to pattern node To
+// (Forward means From is the triple's subject, so the hop follows an
+// outgoing graph edge; otherwise an incoming one).
+type tourStep struct {
+	Triple  int
+	From    int
+	To      int
+	Forward bool
+}
+
+// buildTour computes a tour of the key's pattern: a closed walk that
+// starts and ends at x and visits every pattern node, as message
+// propagation in EvalVC is guided by it. We take the DFS tree walk over
+// the pattern's undirected view — each tree triple is traversed down
+// and then back up, so the walk has at most 2|Q| steps (Lemma 11's
+// bound). Non-tree triples (pattern cycles) need no step of their own:
+// the guided-expansion feasibility check verifies them when their
+// second endpoint is bound. Finding a shortest tour is NP-complete
+// (Chinese Postman, §5.1), so like the paper we use a greedy order:
+// neighbors with harder constraints (constants, value variables) are
+// descended into first.
+//
+// Self-loop triples (x -p-> x) never produce steps; the seeding code
+// verifies them directly.
+func buildTour(ck *match.CompiledKey) []tourStep {
+	n := ck.PatternNodeCount()
+	visited := make([]bool, n)
+	var steps []tourStep
+
+	// scoreOf ranks descent targets: cheap-to-refute nodes first.
+	scoreOf := func(node int) int {
+		kind, _, _ := ck.NodeInfo(node)
+		switch kind {
+		case pattern.Const:
+			return 3
+		case pattern.ValueVar:
+			return 2
+		case pattern.EntityVar:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	var visit func(u int)
+	visit = func(u int) {
+		visited[u] = true
+		// Collect unvisited neighbors with the triple reaching them.
+		type hop struct {
+			triple, to int
+			forward    bool
+			score      int
+		}
+		var hops []hop
+		for _, ti := range ck.IncidentTriples(u) {
+			s, _, o := ck.TripleAt(ti)
+			if s == u && o != u && !visited[o] {
+				hops = append(hops, hop{ti, o, true, scoreOf(o)})
+			} else if o == u && s != u && !visited[s] {
+				hops = append(hops, hop{ti, s, false, scoreOf(s)})
+			}
+		}
+		// Greedy: highest score first (stable by construction order).
+		for i := 0; i < len(hops); i++ {
+			best := i
+			for j := i + 1; j < len(hops); j++ {
+				if hops[j].score > hops[best].score {
+					best = j
+				}
+			}
+			hops[i], hops[best] = hops[best], hops[i]
+		}
+		for _, h := range hops {
+			if visited[h.to] {
+				continue // reached through an earlier sibling subtree
+			}
+			steps = append(steps, tourStep{Triple: h.triple, From: u, To: h.to, Forward: h.forward})
+			visit(h.to)
+			// Walk back up the same triple, in the opposite direction.
+			steps = append(steps, tourStep{Triple: h.triple, From: h.to, To: u, Forward: !h.forward})
+		}
+	}
+	visit(ck.XIndex())
+	return steps
+}
+
+// compiledTour bundles a compiled key with its tour and per-node
+// metadata used by message feasibility checks.
+type compiledTour struct {
+	ck    *match.CompiledKey
+	steps []tourStep
+	// selfLoopPreds lists predicates of self-loop triples on x, checked
+	// at seeding time.
+	xSelfLoops []graph.PredID
+}
+
+func compileTour(ck *match.CompiledKey) *compiledTour {
+	ct := &compiledTour{ck: ck, steps: buildTour(ck)}
+	x := ck.XIndex()
+	for _, ti := range ck.IncidentTriples(x) {
+		s, p, o := ck.TripleAt(ti)
+		if s == x && o == x {
+			ct.xSelfLoops = append(ct.xSelfLoops, p)
+		}
+	}
+	return ct
+}

@@ -1,0 +1,202 @@
+// Package eqrel implements the equivalence relation Eq of "Keys for
+// Graphs" (§3.1): the set of entity pairs identified so far during a
+// chase, closed under reflexivity, symmetry and transitivity.
+//
+// Eq is a union-find (disjoint-set) structure over the node IDs of one
+// graph. Union-find gives the transitive-closure maintenance the paper's
+// ReduceEM join rule and tc-edge propagation implement explicitly in a
+// distributed setting: two entities are in Eq iff they are in the same
+// class.
+package eqrel
+
+import (
+	"sort"
+	"sync"
+)
+
+// Eq is a union-find over dense node IDs [0, n). The zero value is not
+// usable; call New. Eq is not safe for concurrent use; see Safe.
+type Eq struct {
+	parent []int32
+	rank   []uint8
+	// version counts effective (class-merging) unions. Engines use it to
+	// detect that a round changed Eq.
+	version int
+	// classes counts current equivalence classes.
+	classes int
+}
+
+// New returns the identity relation Eq0 = {(e,e)} over n nodes.
+func New(n int) *Eq {
+	eq := &Eq{
+		parent:  make([]int32, n),
+		rank:    make([]uint8, n),
+		classes: n,
+	}
+	for i := range eq.parent {
+		eq.parent[i] = int32(i)
+	}
+	return eq
+}
+
+// Len reports the number of nodes the relation is defined over.
+func (eq *Eq) Len() int { return len(eq.parent) }
+
+// Find returns the class representative of a, with path halving.
+func (eq *Eq) Find(a int32) int32 {
+	for eq.parent[a] != a {
+		eq.parent[a] = eq.parent[eq.parent[a]]
+		a = eq.parent[a]
+	}
+	return a
+}
+
+// Same reports whether (a, b) ∈ Eq.
+func (eq *Eq) Same(a, b int32) bool { return eq.Find(a) == eq.Find(b) }
+
+// Union adds (a, b) to Eq and closes transitively. It reports whether
+// the relation actually grew (false if a and b were already equivalent).
+func (eq *Eq) Union(a, b int32) bool {
+	ra, rb := eq.Find(a), eq.Find(b)
+	if ra == rb {
+		return false
+	}
+	if eq.rank[ra] < eq.rank[rb] {
+		ra, rb = rb, ra
+	}
+	eq.parent[rb] = ra
+	if eq.rank[ra] == eq.rank[rb] {
+		eq.rank[ra]++
+	}
+	eq.version++
+	eq.classes--
+	return true
+}
+
+// Version returns a counter that increases with every effective Union.
+func (eq *Eq) Version() int { return eq.version }
+
+// Classes returns the current number of equivalence classes.
+func (eq *Eq) Classes() int { return eq.classes }
+
+// Reader is a concurrency-safe read-only view of an Eq: its Same uses
+// a non-compressing find, so any number of goroutines may query it as
+// long as the underlying relation is not mutated concurrently. The
+// parallel engines hand Readers of a per-round snapshot to their
+// workers.
+type Reader struct{ eq *Eq }
+
+// Reader returns a read-only view of the relation's current state.
+func (eq *Eq) Reader() Reader { return Reader{eq} }
+
+// Same reports whether (a, b) ∈ Eq, without mutating the structure.
+func (r Reader) Same(a, b int32) bool {
+	return r.findRO(a) == r.findRO(b)
+}
+
+func (r Reader) findRO(a int32) int32 {
+	for r.eq.parent[a] != a {
+		a = r.eq.parent[a]
+	}
+	return a
+}
+
+// Pair is an unordered entity pair, stored with A < B.
+type Pair struct{ A, B int32 }
+
+// MakePair normalizes (a, b) into a Pair with A < B.
+func MakePair(a, b int32) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+// Pairs enumerates every non-trivial pair of Eq restricted to the given
+// universe of nodes (typically the entity nodes of the graph): for each
+// class, all unordered pairs of its members. The result is sorted.
+//
+// This materializes chase(G,Σ) as the paper states it — the set of all
+// pairs (e1, e2) with (G,Σ) ⊨ (e1, e2).
+func (eq *Eq) Pairs(universe []int32) []Pair {
+	classes := make(map[int32][]int32)
+	for _, n := range universe {
+		r := eq.Find(n)
+		classes[r] = append(classes[r], n)
+	}
+	var out []Pair
+	for _, members := range classes {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				out = append(out, Pair{members[i], members[j]})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Clone returns an independent copy of the relation.
+func (eq *Eq) Clone() *Eq {
+	c := &Eq{
+		parent:  make([]int32, len(eq.parent)),
+		rank:    make([]uint8, len(eq.rank)),
+		version: eq.version,
+		classes: eq.classes,
+	}
+	copy(c.parent, eq.parent)
+	copy(c.rank, eq.rank)
+	return c
+}
+
+// Safe wraps an Eq for concurrent use by the parallel engines. All
+// methods take the lock; Find performs path compression and therefore
+// also requires the write lock, so a single mutex is used throughout.
+type Safe struct {
+	mu sync.Mutex
+	eq *Eq
+}
+
+// NewSafe returns a concurrent identity relation over n nodes.
+func NewSafe(n int) *Safe { return &Safe{eq: New(n)} }
+
+// Same reports whether (a, b) ∈ Eq.
+func (s *Safe) Same(a, b int32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eq.Same(a, b)
+}
+
+// Union adds (a, b) and reports whether the relation grew.
+func (s *Safe) Union(a, b int32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eq.Union(a, b)
+}
+
+// Version returns the effective-union counter.
+func (s *Safe) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eq.version
+}
+
+// Snapshot returns an independent copy of the underlying relation.
+func (s *Safe) Snapshot() *Eq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eq.Clone()
+}
+
+// Relation exposes the underlying Eq once concurrent work has finished.
+// The caller must ensure no concurrent access afterwards.
+func (s *Safe) Relation() *Eq { return s.eq }

@@ -1,0 +1,195 @@
+package eqrel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	eq := New(5)
+	if eq.Len() != 5 {
+		t.Fatalf("Len = %d", eq.Len())
+	}
+	for i := int32(0); i < 5; i++ {
+		if !eq.Same(i, i) {
+			t.Errorf("reflexivity broken at %d", i)
+		}
+		for j := i + 1; j < 5; j++ {
+			if eq.Same(i, j) {
+				t.Errorf("identity relation relates %d and %d", i, j)
+			}
+		}
+	}
+	if eq.Classes() != 5 {
+		t.Errorf("Classes = %d, want 5", eq.Classes())
+	}
+	if eq.Version() != 0 {
+		t.Errorf("Version = %d, want 0", eq.Version())
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	eq := New(6)
+	if !eq.Union(0, 1) {
+		t.Fatal("first union reported no growth")
+	}
+	if eq.Union(1, 0) {
+		t.Fatal("repeated union reported growth")
+	}
+	if !eq.Same(0, 1) || !eq.Same(1, 0) {
+		t.Fatal("symmetry broken")
+	}
+	eq.Union(1, 2)
+	if !eq.Same(0, 2) {
+		t.Fatal("transitivity broken")
+	}
+	if eq.Classes() != 4 {
+		t.Errorf("Classes = %d, want 4", eq.Classes())
+	}
+	if eq.Version() != 2 {
+		t.Errorf("Version = %d, want 2", eq.Version())
+	}
+}
+
+func TestPairs(t *testing.T) {
+	eq := New(6)
+	eq.Union(0, 1)
+	eq.Union(1, 2)
+	eq.Union(4, 5)
+	universe := []int32{0, 1, 2, 3, 4, 5}
+	pairs := eq.Pairs(universe)
+	want := []Pair{{0, 1}, {0, 2}, {1, 2}, {4, 5}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+	// Restricting the universe restricts the pairs.
+	pairs = eq.Pairs([]int32{0, 2, 4})
+	if len(pairs) != 1 || pairs[0] != (Pair{0, 2}) {
+		t.Fatalf("restricted pairs = %v", pairs)
+	}
+}
+
+func TestMakePair(t *testing.T) {
+	if MakePair(3, 1) != (Pair{1, 3}) {
+		t.Error("MakePair did not normalize")
+	}
+	if MakePair(1, 3) != (Pair{1, 3}) {
+		t.Error("MakePair changed ordered input")
+	}
+}
+
+func TestClone(t *testing.T) {
+	eq := New(4)
+	eq.Union(0, 1)
+	c := eq.Clone()
+	c.Union(2, 3)
+	if eq.Same(2, 3) {
+		t.Error("clone aliased original")
+	}
+	if !c.Same(0, 1) {
+		t.Error("clone lost unions")
+	}
+	if c.Version() != eq.Version()+1 {
+		t.Error("clone version drifted")
+	}
+}
+
+// TestEquivalenceLaws property-tests that after an arbitrary union
+// sequence the relation is an equivalence relation consistent with the
+// unions performed (smallest equivalence containing them).
+func TestEquivalenceLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 24
+		eq := New(n)
+		// Reference: naive reachability over an undirected union graph.
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for k := 0; k < 30; k++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			eq.Union(a, b)
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+		reach := func(a, b int32) bool {
+			seen := make([]bool, n)
+			stack := []int32{a}
+			seen[a] = true
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if x == b {
+					return true
+				}
+				for y := int32(0); y < n; y++ {
+					if adj[x][y] && !seen[y] {
+						seen[y] = true
+						stack = append(stack, y)
+					}
+				}
+			}
+			return false
+		}
+		for a := int32(0); a < n; a++ {
+			for b := int32(0); b < n; b++ {
+				if eq.Same(a, b) != reach(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafeConcurrent(t *testing.T) {
+	const n = 1000
+	s := NewSafe(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker links a strided chain; all chains overlap at 0.
+			for i := w; i < n-1; i += 8 {
+				s.Union(int32(i), int32(i+1))
+				s.Same(int32(i), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	eq := s.Relation()
+	// All nodes end up connected: chains i..i+1 cover every adjacent pair.
+	for i := int32(1); i < n; i++ {
+		if !eq.Same(0, i) {
+			t.Fatalf("node %d not connected after concurrent unions", i)
+		}
+	}
+	if got := s.Version(); got != n-1 {
+		t.Errorf("Version = %d, want %d (each effective union counted once)", got, n-1)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewSafe(4)
+	s.Union(0, 1)
+	snap := s.Snapshot()
+	s.Union(2, 3)
+	if snap.Same(2, 3) {
+		t.Error("snapshot observed later union")
+	}
+	if !snap.Same(0, 1) {
+		t.Error("snapshot missing earlier union")
+	}
+}

@@ -1,0 +1,211 @@
+// Package fixtures provides the running examples of "Keys for Graphs"
+// (Fan et al., PVLDB 2015) — the music graph G1 and company graph G2 of
+// Fig. 2, the keys Q1–Q6 of Fig. 1 — together with the identifications
+// the paper derives from them (Examples 5, 7, 8 and 10). Every engine's
+// test suite asserts against these.
+package fixtures
+
+import (
+	"fmt"
+
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+)
+
+// KeysDSL is the DSL source for Q1–Q6 of Fig. 1.
+const KeysDSL = `
+# Q1: an album is identified by its name and its primary recording artist.
+key Q1 for album {
+    x -name_of-> name*
+    x -recorded_by-> $y:artist
+}
+
+# Q2: an album is identified by its name and its year of initial release.
+key Q2 for album {
+    x -name_of-> name*
+    x -release_year-> year*
+}
+
+# Q3: an artist is identified by the name and one album he or she recorded.
+key Q3 for artist {
+    x -name_of-> name*
+    $a:album -recorded_by-> x
+}
+
+# Q4: a company merged from a same-named parent is identified by its name
+# and the other parent company.
+key Q4 for company {
+    x -name_of-> name*
+    _w:company -name_of-> name*
+    _w:company -parent_of-> x
+    $c:company -parent_of-> x
+}
+
+# Q5: a company split from a same-named parent is identified by its name
+# and another child company after splitting.
+key Q5 for company {
+    x -name_of-> name*
+    _w:company -name_of-> name*
+    x -parent_of-> _w:company
+    x -parent_of-> $c:company
+}
+
+# Q6: a street in the UK is identified by its zip code.
+key Q6 for street {
+    x -zip_code-> code*
+    x -nation_of-> "UK"
+}
+`
+
+// MusicKeys returns Σ1 = {Q1, Q2, Q3}.
+func MusicKeys() *keys.Set {
+	return subset("Q1", "Q2", "Q3")
+}
+
+// CompanyKeys returns Σ2 = {Q4, Q5}.
+func CompanyKeys() *keys.Set {
+	return subset("Q4", "Q5")
+}
+
+// AddressKeys returns {Q6}.
+func AddressKeys() *keys.Set {
+	return subset("Q6")
+}
+
+// AllKeys returns all six keys.
+func AllKeys() *keys.Set {
+	s, err := keys.ParseString(KeysDSL)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: %v", err))
+	}
+	return s
+}
+
+func subset(names ...string) *keys.Set {
+	all := AllKeys()
+	var dsl string
+	for _, n := range names {
+		k, ok := all.ByName(n)
+		if !ok {
+			panic("fixtures: unknown key " + n)
+		}
+		dsl += "key " + k.Name + " for " + k.Type() + " {\n" + k.Pattern.String() + "}\n"
+	}
+	s, err := keys.ParseString(dsl)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: subset: %v", err))
+	}
+	return s
+}
+
+// MusicGraph builds G1 of Fig. 2: three albums named "Anthology 2",
+// two of which (alb1, alb2) are duplicates released in 1996 by the two
+// duplicate artists (art1, art2) both named "The Beatles"; alb3/art3 is
+// John Farnham's distinct album of the same name.
+//
+// Expected chase(G1, Σ1): {(alb1, alb2), (art1, art2)} (Example 7).
+func MusicGraph() *graph.Graph {
+	g := graph.New()
+	alb1 := g.MustAddEntity("alb1", "album")
+	alb2 := g.MustAddEntity("alb2", "album")
+	alb3 := g.MustAddEntity("alb3", "album")
+	art1 := g.MustAddEntity("art1", "artist")
+	art2 := g.MustAddEntity("art2", "artist")
+	art3 := g.MustAddEntity("art3", "artist")
+	anthology := g.AddValue("Anthology 2")
+	y1996 := g.AddValue("1996")
+	beatles := g.AddValue("The Beatles")
+	farnham := g.AddValue("John Farnham")
+	g.MustAddTriple(alb1, "name_of", anthology)
+	g.MustAddTriple(alb2, "name_of", anthology)
+	g.MustAddTriple(alb3, "name_of", anthology)
+	g.MustAddTriple(alb1, "release_year", y1996)
+	g.MustAddTriple(alb2, "release_year", y1996)
+	g.MustAddTriple(alb1, "recorded_by", art1)
+	g.MustAddTriple(alb2, "recorded_by", art2)
+	g.MustAddTriple(alb3, "recorded_by", art3)
+	g.MustAddTriple(art1, "name_of", beatles)
+	g.MustAddTriple(art2, "name_of", beatles)
+	g.MustAddTriple(art3, "name_of", farnham)
+	return g
+}
+
+// CompanyGraph builds G2 of Fig. 2, following Examples 5 and 7 of the
+// paper. com1 and com2 are duplicate "AT&T" companies; com4 and com5 are
+// duplicate post-merger "AT&T" companies with parents {com1, com3} and
+// {com2, com3} respectively (com3 is "SBC"); com1 and com2 each split
+// into com0 ("AT&T") and com3.
+//
+// Expected chase(G2, Σ2): {(com4, com5)} by Q4 — the wildcard maps to
+// com1/com2 without requiring them identified — and {(com1, com2)} by
+// Q5 via the shared children com0 (wildcard) and com3 (entity variable,
+// reflexive pair).
+func CompanyGraph() *graph.Graph {
+	g := graph.New()
+	com0 := g.MustAddEntity("com0", "company")
+	com1 := g.MustAddEntity("com1", "company")
+	com2 := g.MustAddEntity("com2", "company")
+	com3 := g.MustAddEntity("com3", "company")
+	com4 := g.MustAddEntity("com4", "company")
+	com5 := g.MustAddEntity("com5", "company")
+	att := g.AddValue("AT&T")
+	sbc := g.AddValue("SBC")
+	y1997 := g.AddValue("1997")
+	g.MustAddTriple(com0, "name_of", att)
+	g.MustAddTriple(com1, "name_of", att)
+	g.MustAddTriple(com2, "name_of", att)
+	g.MustAddTriple(com4, "name_of", att)
+	g.MustAddTriple(com5, "name_of", att)
+	g.MustAddTriple(com3, "name_of", sbc)
+	// Merger: AT&T (com1/com2) + SBC (com3) -> new AT&T (com4/com5).
+	g.MustAddTriple(com1, "parent_of", com4)
+	g.MustAddTriple(com3, "parent_of", com4)
+	g.MustAddTriple(com2, "parent_of", com5)
+	g.MustAddTriple(com3, "parent_of", com5)
+	// Split: AT&T (com1/com2) -> AT&T (com0) + SBC (com3).
+	g.MustAddTriple(com1, "parent_of", com0)
+	g.MustAddTriple(com1, "parent_of", com3)
+	g.MustAddTriple(com2, "parent_of", com0)
+	g.MustAddTriple(com2, "parent_of", com3)
+	g.MustAddTriple(com0, "founded", y1997)
+	return g
+}
+
+// AddressGraph builds a small street graph exercising Q6: two duplicate
+// UK streets sharing a zip code, one US street pair sharing a zip code
+// (which Q6 must NOT identify), and an unrelated UK street.
+//
+// Expected chase: {(st1, st2)}.
+func AddressGraph() *graph.Graph {
+	g := graph.New()
+	st1 := g.MustAddEntity("st1", "street")
+	st2 := g.MustAddEntity("st2", "street")
+	st3 := g.MustAddEntity("st3", "street")
+	us1 := g.MustAddEntity("us1", "street")
+	us2 := g.MustAddEntity("us2", "street")
+	uk := g.AddValue("UK")
+	us := g.AddValue("US")
+	eh8 := g.AddValue("EH8 9AB")
+	ny := g.AddValue("10001")
+	g.MustAddTriple(st1, "nation_of", uk)
+	g.MustAddTriple(st2, "nation_of", uk)
+	g.MustAddTriple(st3, "nation_of", uk)
+	g.MustAddTriple(us1, "nation_of", us)
+	g.MustAddTriple(us2, "nation_of", us)
+	g.MustAddTriple(st1, "zip_code", eh8)
+	g.MustAddTriple(st2, "zip_code", eh8)
+	g.MustAddTriple(st3, "zip_code", g.AddValue("EH1 1AA"))
+	g.MustAddTriple(us1, "zip_code", ny)
+	g.MustAddTriple(us2, "zip_code", ny)
+	return g
+}
+
+// Node returns the node for an external entity ID, panicking if absent;
+// a convenience for tests.
+func Node(g *graph.Graph, id string) graph.NodeID {
+	n, ok := g.Entity(id)
+	if !ok {
+		panic("fixtures: no entity " + id)
+	}
+	return n
+}

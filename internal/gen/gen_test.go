@@ -1,0 +1,273 @@
+package gen
+
+import (
+	"testing"
+
+	"graphkeys/internal/chase"
+	"graphkeys/internal/emmr"
+	"graphkeys/internal/emvc"
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/graph"
+)
+
+func samePairs(a, b []eqrel.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSyntheticGroundTruth: the sequential chase on generated synthetic
+// workloads recovers exactly the planted duplicates, across chain
+// lengths, radii and seeds.
+func TestSyntheticGroundTruth(t *testing.T) {
+	for _, c := range []int{0, 1, 3} {
+		for _, d := range []int{1, 2, 3} {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := DefaultSynthetic()
+				cfg.Seed = seed
+				cfg.Chain = c
+				cfg.Radius = d
+				cfg.TypeGroups = 2
+				cfg.EntitiesPerType = 20
+				w, err := Synthetic(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := chase.Run(w.Graph, w.Keys, chase.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !samePairs(res.Pairs, w.Expected) {
+					t.Fatalf("c=%d d=%d seed=%d: chase %d pairs, planted %d\nchase:   %v\nplanted: %v",
+						c, d, seed, len(res.Pairs), len(w.Expected), res.Pairs, w.Expected)
+				}
+				if len(w.Expected) == 0 {
+					t.Fatalf("c=%d d=%d: no duplicates planted; workload is vacuous", c, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSyntheticKeyShape: generated keys have the requested radius and
+// dependency chain, and the key count is TypeGroups*(Chain+1).
+func TestSyntheticKeyShape(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.Chain = 3
+	cfg.Radius = 4
+	cfg.TypeGroups = 3
+	cfg.EntitiesPerType = 8
+	w, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Keys.Cardinality(), 3*4; got != want {
+		t.Errorf("||Σ|| = %d, want %d", got, want)
+	}
+	if got := w.Keys.MaxRadius(); got != 4 {
+		t.Errorf("max radius = %d, want 4", got)
+	}
+	c, cyclic := w.Keys.LongestChain()
+	if cyclic {
+		t.Error("synthetic chains must be acyclic")
+	}
+	if c != 3 {
+		t.Errorf("longest chain = %d, want 3", c)
+	}
+}
+
+// TestSyntheticEnginesAgree: both parallel engine families reproduce
+// the planted ground truth.
+func TestSyntheticEnginesAgree(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.TypeGroups = 2
+	cfg.EntitiesPerType = 16
+	w, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []emmr.Variant{emmr.Base, emmr.Opt} {
+		res, err := emmr.Run(w.Graph, w.Keys, emmr.Config{P: 4, Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePairs(res.Pairs, w.Expected) {
+			t.Fatalf("%v: differs from planted truth", v)
+		}
+	}
+	for _, v := range []emvc.Variant{emvc.Base, emvc.Opt} {
+		res, err := emvc.Run(w.Graph, w.Keys, emvc.Config{P: 4, Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePairs(res.Pairs, w.Expected) {
+			t.Fatalf("%v: differs from planted truth", v)
+		}
+	}
+}
+
+// TestSyntheticDeterministic: equal seeds produce equal workloads.
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := DefaultSynthetic()
+	w1, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Graph.NumTriples() != w2.Graph.NumTriples() || !samePairs(w1.Expected, w2.Expected) {
+		t.Error("same seed produced different workloads")
+	}
+	cfg.Seed = 99
+	w3, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Graph.NumTriples() == w3.Graph.NumTriples() && samePairs(w1.Expected, w3.Expected) {
+		// Same counts are plausible; identical noise is not. Compare a
+		// serialization-level property instead: triple count plus value
+		// count.
+		if w1.Graph.NumNodes() == w3.Graph.NumNodes() {
+			t.Log("different seeds produced suspiciously similar workloads (allowed, but worth a look)")
+		}
+	}
+}
+
+// TestSyntheticConfigValidation: bad configs error.
+func TestSyntheticConfigValidation(t *testing.T) {
+	bad := []SyntheticConfig{
+		{TypeGroups: 0, EntitiesPerType: 10, Chain: 1, Radius: 1},
+		{TypeGroups: 1, EntitiesPerType: 1, Chain: 1, Radius: 1},
+		{TypeGroups: 1, EntitiesPerType: 10, Chain: -1, Radius: 1},
+		{TypeGroups: 1, EntitiesPerType: 10, Chain: 1, Radius: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestGoogleGroundTruth: the Google+-flavored workload's chase result
+// matches its planted truth, and the type/key counts match the paper.
+func TestGoogleGroundTruth(t *testing.T) {
+	w, err := Google(FlavorConfig{Seed: 3, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Keys.Cardinality(); got != 30 {
+		t.Errorf("google keys = %d, want 30", got)
+	}
+	res, err := chase.Run(w.Graph, w.Keys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePairs(res.Pairs, w.Expected) {
+		t.Fatalf("chase %d pairs, planted %d\nchase:   %v\nplanted: %v",
+			len(res.Pairs), len(w.Expected), res.Pairs, w.Expected)
+	}
+	// The mutual-recursion cascade must be present: at least one
+	// employer pair in the truth.
+	foundEmployer := false
+	for _, pr := range w.Expected {
+		if w.Graph.TypeName(w.Graph.TypeOf(graph.NodeID(pr.A))) == "employer" {
+			foundEmployer = true
+		}
+	}
+	if !foundEmployer {
+		t.Error("no employer pair planted; mutual recursion unexercised")
+	}
+	c, cyclic := w.Keys.LongestChain()
+	if !cyclic {
+		t.Error("google keys should be mutually recursive (user <-> employer)")
+	}
+	_ = c
+}
+
+// TestDBpediaGroundTruth: likewise for the DBpedia-flavored workload.
+func TestDBpediaGroundTruth(t *testing.T) {
+	w, err := DBpedia(FlavorConfig{Seed: 5, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Keys.Cardinality(); got != 100 {
+		t.Errorf("dbpedia keys = %d, want 100", got)
+	}
+	if got := w.Graph.NumTypes(); got != 495 {
+		t.Errorf("dbpedia types = %d, want 495", got)
+	}
+	res, err := chase.Run(w.Graph, w.Keys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePairs(res.Pairs, w.Expected) {
+		t.Fatalf("chase %d pairs, planted %d", len(res.Pairs), len(w.Expected))
+	}
+}
+
+// TestFlavorEnginesAgree: the parallel engines agree on both flavored
+// workloads.
+func TestFlavorEnginesAgree(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		mk   func() (*Workload, error)
+	}{
+		{"google", func() (*Workload, error) { return Google(FlavorConfig{Seed: 1, Scale: 0.3}) }},
+		{"dbpedia", func() (*Workload, error) { return DBpedia(FlavorConfig{Seed: 1, Scale: 0.3}) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			w, err := mk.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mrRes, err := emmr.Run(w.Graph, w.Keys, emmr.Config{P: 4, Variant: emmr.Opt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePairs(mrRes.Pairs, w.Expected) {
+				t.Errorf("EMOptMR differs from planted truth")
+			}
+			vcRes, err := emvc.Run(w.Graph, w.Keys, emvc.Config{P: 4, Variant: emvc.Opt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePairs(vcRes.Pairs, w.Expected) {
+				t.Errorf("EMOptVC differs from planted truth")
+			}
+		})
+	}
+}
+
+// TestFlavorConfigValidation: scale must be positive.
+func TestFlavorConfigValidation(t *testing.T) {
+	if _, err := Google(FlavorConfig{Scale: 0}); err == nil {
+		t.Error("google accepted zero scale")
+	}
+	if _, err := DBpedia(FlavorConfig{Scale: -1}); err == nil {
+		t.Error("dbpedia accepted negative scale")
+	}
+}
+
+// TestScaleMonotone: larger scales produce larger graphs.
+func TestScaleMonotone(t *testing.T) {
+	small, err := Google(FlavorConfig{Seed: 1, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Google(FlavorConfig{Seed: 1, Scale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Graph.NumTriples() <= small.Graph.NumTriples() {
+		t.Errorf("scale 1.0 (%d triples) not larger than scale 0.3 (%d)",
+			big.Graph.NumTriples(), small.Graph.NumTriples())
+	}
+}

@@ -1,0 +1,284 @@
+// Package graph implements the triple-based graph model of "Keys for
+// Graphs" (Fan et al., PVLDB 2015), Section 2.1.
+//
+// A graph is a set of triples (s, p, o) where the subject s is an entity,
+// p is a predicate, and the object o is either an entity or a data value.
+// Entities carry a type; values are opaque literals. The graph is also a
+// directed edge-labeled graph: entities and values are nodes, and each
+// triple contributes an edge from s to o labeled p.
+//
+// Graphs are built incrementally with AddEntity/AddValue/AddTriple and are
+// safe for concurrent readers once building has finished; no method
+// mutates a graph after construction except the Add* builders.
+package graph
+
+import "fmt"
+
+// NodeID identifies a node (entity or value) within one Graph. IDs are
+// dense indexes assigned in insertion order, so they can be used to index
+// per-node slices.
+type NodeID int32
+
+// PredID identifies an interned predicate name within one Graph.
+type PredID int32
+
+// TypeID identifies an interned entity type name within one Graph.
+type TypeID int32
+
+// NoNode is returned by lookups that find nothing.
+const NoNode NodeID = -1
+
+// Kind distinguishes entity nodes from value nodes.
+type Kind uint8
+
+const (
+	// EntityKind marks a node that represents an entity with an ID and a type.
+	EntityKind Kind = iota
+	// ValueKind marks a node that represents a data value.
+	ValueKind
+)
+
+// Edge is one half of a stored triple: the predicate plus the node at the
+// other end. Out-edges of s store (p, o); in-edges of o store (p, s).
+type Edge struct {
+	Pred PredID
+	To   NodeID
+}
+
+type node struct {
+	kind  Kind
+	typ   TypeID // entities only; 0 is a valid TypeID, guarded by kind
+	label string // external entity ID, or the value literal
+}
+
+type tripleKey struct {
+	s NodeID
+	p PredID
+	o NodeID
+}
+
+// Graph is an in-memory triple store. The zero value is not usable; call
+// New.
+type Graph struct {
+	nodes []node
+	out   [][]Edge
+	in    [][]Edge
+
+	preds *Interner
+	types *Interner
+
+	entByID  map[string]NodeID // external entity ID -> node
+	valByLit map[string]NodeID // value literal -> node
+	byType   [][]NodeID        // TypeID -> entity nodes of that type
+
+	triples map[tripleKey]struct{}
+	nTrip   int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		preds:    NewInterner(),
+		types:    NewInterner(),
+		entByID:  make(map[string]NodeID),
+		valByLit: make(map[string]NodeID),
+		triples:  make(map[tripleKey]struct{}),
+	}
+}
+
+// NumNodes reports the number of nodes (entities plus values).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumTriples reports |G|, the number of triples.
+func (g *Graph) NumTriples() int { return g.nTrip }
+
+// NumEntities reports the number of entity nodes.
+func (g *Graph) NumEntities() int {
+	n := 0
+	for _, ns := range g.byType {
+		n += len(ns)
+	}
+	return n
+}
+
+// AddEntity returns the node for the entity with the given external ID,
+// creating it with the given type if it does not exist. Adding the same
+// ID twice with different types is an error.
+func (g *Graph) AddEntity(id, typeName string) (NodeID, error) {
+	if n, ok := g.entByID[id]; ok {
+		if g.types.Name(int32(g.nodes[n].typ)) != typeName {
+			return NoNode, fmt.Errorf("graph: entity %q redeclared with type %q (was %q)",
+				id, typeName, g.types.Name(int32(g.nodes[n].typ)))
+		}
+		return n, nil
+	}
+	t := TypeID(g.types.Intern(typeName))
+	n := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, node{kind: EntityKind, typ: t, label: id})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.entByID[id] = n
+	for int(t) >= len(g.byType) {
+		g.byType = append(g.byType, nil)
+	}
+	g.byType[t] = append(g.byType[t], n)
+	return n, nil
+}
+
+// MustAddEntity is AddEntity for programmatic construction where the
+// caller guarantees type consistency; it panics on error.
+func (g *Graph) MustAddEntity(id, typeName string) NodeID {
+	n, err := g.AddEntity(id, typeName)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddValue returns the node for the given value literal, creating it if
+// needed. Equal literals share one node (value equality, §2.1).
+func (g *Graph) AddValue(lit string) NodeID {
+	if n, ok := g.valByLit[lit]; ok {
+		return n
+	}
+	n := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, node{kind: ValueKind, label: lit})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.valByLit[lit] = n
+	return n
+}
+
+// AddTriple records the triple (s, p, o). The subject must be an entity
+// node. Duplicate triples are ignored.
+func (g *Graph) AddTriple(s NodeID, pred string, o NodeID) error {
+	if !g.valid(s) || !g.valid(o) {
+		return fmt.Errorf("graph: AddTriple with unknown node (s=%d, o=%d)", s, o)
+	}
+	if g.nodes[s].kind != EntityKind {
+		return fmt.Errorf("graph: triple subject %q is a value, not an entity", g.nodes[s].label)
+	}
+	p := PredID(g.preds.Intern(pred))
+	k := tripleKey{s, p, o}
+	if _, dup := g.triples[k]; dup {
+		return nil
+	}
+	g.triples[k] = struct{}{}
+	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
+	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
+	g.nTrip++
+	return nil
+}
+
+// MustAddTriple is AddTriple that panics on error.
+func (g *Graph) MustAddTriple(s NodeID, pred string, o NodeID) {
+	if err := g.AddTriple(s, pred, o); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.nodes) }
+
+// IsEntity reports whether n is an entity node.
+func (g *Graph) IsEntity(n NodeID) bool { return g.valid(n) && g.nodes[n].kind == EntityKind }
+
+// IsValue reports whether n is a value node.
+func (g *Graph) IsValue(n NodeID) bool { return g.valid(n) && g.nodes[n].kind == ValueKind }
+
+// TypeOf returns the type of entity n. It panics if n is not an entity.
+func (g *Graph) TypeOf(n NodeID) TypeID {
+	if !g.IsEntity(n) {
+		panic(fmt.Sprintf("graph: TypeOf(%d) on non-entity", n))
+	}
+	return g.nodes[n].typ
+}
+
+// Label returns the external entity ID of an entity node, or the literal
+// of a value node.
+func (g *Graph) Label(n NodeID) string { return g.nodes[n].label }
+
+// TypeName returns the name of the given type.
+func (g *Graph) TypeName(t TypeID) string { return g.types.Name(int32(t)) }
+
+// TypeByName returns the TypeID for a type name, if any entity of that
+// type exists.
+func (g *Graph) TypeByName(name string) (TypeID, bool) {
+	id, ok := g.types.Lookup(name)
+	return TypeID(id), ok
+}
+
+// NumTypes reports the number of distinct entity types.
+func (g *Graph) NumTypes() int { return g.types.Len() }
+
+// PredName returns the name of the given predicate.
+func (g *Graph) PredName(p PredID) string { return g.preds.Name(int32(p)) }
+
+// PredByName returns the PredID for a predicate name, if it occurs in G.
+func (g *Graph) PredByName(name string) (PredID, bool) {
+	id, ok := g.preds.Lookup(name)
+	return PredID(id), ok
+}
+
+// NumPreds reports the number of distinct predicates.
+func (g *Graph) NumPreds() int { return g.preds.Len() }
+
+// Entity returns the node for the entity with the given external ID.
+func (g *Graph) Entity(id string) (NodeID, bool) {
+	n, ok := g.entByID[id]
+	return n, ok
+}
+
+// Value returns the node for the given literal, if present.
+func (g *Graph) Value(lit string) (NodeID, bool) {
+	n, ok := g.valByLit[lit]
+	return n, ok
+}
+
+// EntitiesOfType returns all entity nodes with type t. The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) EntitiesOfType(t TypeID) []NodeID {
+	if int(t) >= len(g.byType) {
+		return nil
+	}
+	return g.byType[t]
+}
+
+// Out returns the out-edges of n: for each stored triple (n, p, o) an
+// Edge{p, o}. The slice is owned by the graph.
+func (g *Graph) Out(n NodeID) []Edge { return g.out[n] }
+
+// In returns the in-edges of n: for each stored triple (s, p, n) an
+// Edge{p, s}. The slice is owned by the graph.
+func (g *Graph) In(n NodeID) []Edge { return g.in[n] }
+
+// HasTriple reports whether the triple (s, p, o) is in G.
+func (g *Graph) HasTriple(s NodeID, p PredID, o NodeID) bool {
+	_, ok := g.triples[tripleKey{s, p, o}]
+	return ok
+}
+
+// Degree returns the undirected degree of n (out plus in edges).
+func (g *Graph) Degree(n NodeID) int { return len(g.out[n]) + len(g.in[n]) }
+
+// Nodes returns the range of valid node IDs as [0, NumNodes).
+// It exists for documentation; callers typically loop over NumNodes.
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// EachEntity calls fn for every entity node.
+func (g *Graph) EachEntity(fn func(NodeID)) {
+	for i, nd := range g.nodes {
+		if nd.kind == EntityKind {
+			fn(NodeID(i))
+		}
+	}
+}
+
+// EachTriple calls fn for every triple (s, p, o) in G, in unspecified
+// order.
+func (g *Graph) EachTriple(fn func(s NodeID, p PredID, o NodeID)) {
+	for s, edges := range g.out {
+		for _, e := range edges {
+			fn(NodeID(s), e.Pred, e.To)
+		}
+	}
+}

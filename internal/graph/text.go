@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text format is one triple per line:
+//
+//	subject <TAB> predicate <TAB> object
+//
+// where an entity token is written id:Type (the last colon separates the
+// external ID from the type name) and a value token is a Go-quoted string
+// literal. Blank lines and lines starting with '#' are ignored.
+//
+// Example:
+//
+//	alb1:album	name_of	"Anthology 2"
+//	alb1:album	recorded_by	art1:artist
+
+// ParseText reads a graph in the text format from r.
+func ParseText(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 3 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		s, err := parseEntityToken(g, parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: subject: %v", lineNo, err)
+		}
+		pred := strings.TrimSpace(parts[1])
+		if pred == "" {
+			return nil, fmt.Errorf("graph: line %d: empty predicate", lineNo)
+		}
+		var o NodeID
+		obj := strings.TrimSpace(parts[2])
+		if strings.HasPrefix(obj, `"`) {
+			lit, err := strconv.Unquote(obj)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: object literal: %v", lineNo, err)
+			}
+			o = g.AddValue(lit)
+		} else {
+			o, err = parseEntityToken(g, obj)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: object: %v", lineNo, err)
+			}
+		}
+		if err := g.AddTriple(s, pred, o); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %v", err)
+	}
+	return g, nil
+}
+
+func parseEntityToken(g *Graph, tok string) (NodeID, error) {
+	tok = strings.TrimSpace(tok)
+	i := strings.LastIndexByte(tok, ':')
+	if i <= 0 || i == len(tok)-1 {
+		return NoNode, fmt.Errorf("entity token %q is not of the form id:Type", tok)
+	}
+	return g.AddEntity(tok[:i], tok[i+1:])
+}
+
+// WriteText writes g in the text format. Triples are emitted sorted by
+// subject label, predicate name and object so that the output is
+// deterministic and diffable.
+func (g *Graph) WriteText(w io.Writer) error {
+	type row struct{ s, p, o string }
+	rows := make([]row, 0, g.nTrip)
+	g.EachTriple(func(s NodeID, p PredID, o NodeID) {
+		rows = append(rows, row{g.entityToken(s), g.PredName(p), g.objectToken(o)})
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].s != rows[j].s {
+			return rows[i].s < rows[j].s
+		}
+		if rows[i].p != rows[j].p {
+			return rows[i].p < rows[j].p
+		}
+		return rows[i].o < rows[j].o
+	})
+	bw := bufio.NewWriter(w)
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", r.s, r.p, r.o); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (g *Graph) entityToken(n NodeID) string {
+	return g.Label(n) + ":" + g.TypeName(g.TypeOf(n))
+}
+
+func (g *Graph) objectToken(n NodeID) string {
+	if g.IsValue(n) {
+		return strconv.Quote(g.Label(n))
+	}
+	return g.entityToken(n)
+}

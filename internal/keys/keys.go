@@ -1,0 +1,357 @@
+// Package keys implements key sets Σ for "Keys for Graphs" (Fan et al.,
+// PVLDB 2015): named keys grouped per entity type, with the derived
+// metadata the algorithms of §4–§5 need — per-type maximum radius d for
+// d-neighbor construction, the type-dependency graph induced by
+// recursive keys, and the longest dependency chain length c used as a
+// workload parameter in §6.
+package keys
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"graphkeys/internal/pattern"
+)
+
+// Key is one key for entities of type Q.Type(). Radius and Recursive are
+// cached from the pattern at construction time.
+type Key struct {
+	Name string
+	*pattern.Pattern
+	Radius    int
+	Recursive bool
+}
+
+// Set is a set Σ of keys. It is immutable after construction and safe
+// for concurrent readers.
+type Set struct {
+	keys   []*Key
+	byType map[string][]*Key
+	byName map[string]*Key
+}
+
+// FromNamed builds a Set from parsed patterns. Key names must be unique;
+// every pattern must validate.
+func FromNamed(named []pattern.Named) (*Set, error) {
+	s := &Set{
+		byType: make(map[string][]*Key),
+		byName: make(map[string]*Key),
+	}
+	for _, n := range named {
+		if err := n.Validate(); err != nil {
+			return nil, fmt.Errorf("keys: %s: %v", n.Name, err)
+		}
+		if _, dup := s.byName[n.Name]; dup {
+			return nil, fmt.Errorf("keys: duplicate key name %q", n.Name)
+		}
+		k := &Key{
+			Name:      n.Name,
+			Pattern:   n.Pattern,
+			Radius:    n.Radius(),
+			Recursive: n.IsRecursive(),
+		}
+		s.keys = append(s.keys, k)
+		s.byName[k.Name] = k
+		s.byType[k.Type()] = append(s.byType[k.Type()], k)
+	}
+	// Within each type, order keys value-based first and then by size.
+	// EvalMR tries keys in this order and stops at the first success
+	// (early termination), so cheap, non-recursive keys go first. This is
+	// the practical payoff of sharing work across the keys of a type
+	// (cf. the common-substructure optimization of ref [30] in §4.1).
+	for _, ks := range s.byType {
+		sort.SliceStable(ks, func(i, j int) bool {
+			if ks[i].Recursive != ks[j].Recursive {
+				return !ks[i].Recursive
+			}
+			return ks[i].Size() < ks[j].Size()
+		})
+	}
+	return s, nil
+}
+
+// Parse reads keys in the pattern DSL and builds a Set.
+func Parse(r io.Reader) (*Set, error) {
+	named, err := pattern.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(named) == 0 {
+		return nil, fmt.Errorf("keys: no keys in input")
+	}
+	return FromNamed(named)
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Set, error) { return Parse(strings.NewReader(s)) }
+
+// Keys returns all keys in input order (before per-type reordering).
+func (s *Set) Keys() []*Key { return s.keys }
+
+// ByName returns the key with the given name.
+func (s *Set) ByName(name string) (*Key, bool) {
+	k, ok := s.byName[name]
+	return k, ok
+}
+
+// ForType returns the keys defined on entities of the given type, cheap
+// keys first.
+func (s *Set) ForType(typeName string) []*Key { return s.byType[typeName] }
+
+// Types returns the entity types some key is defined on, sorted.
+func (s *Set) Types() []string {
+	out := make([]string, 0, len(s.byType))
+	for t := range s.byType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cardinality returns ||Σ||, the number of keys.
+func (s *Set) Cardinality() int { return len(s.keys) }
+
+// TotalSize returns |Σ| = Σ_{Q∈Σ} |Q|, the total number of pattern
+// triples.
+func (s *Set) TotalSize() int {
+	n := 0
+	for _, k := range s.keys {
+		n += k.Size()
+	}
+	return n
+}
+
+// MaxRadiusForType returns the maximum radius d over the keys defined on
+// the given type (§4.1: the bound for the d-neighbor G^d of entities of
+// that type). It returns 0 if no key is defined on the type.
+func (s *Set) MaxRadiusForType(typeName string) int {
+	d := 0
+	for _, k := range s.byType[typeName] {
+		if k.Radius > d {
+			d = k.Radius
+		}
+	}
+	return d
+}
+
+// MaxRadius returns the maximum radius over all keys in Σ.
+func (s *Set) MaxRadius() int {
+	d := 0
+	for _, k := range s.keys {
+		if k.Radius > d {
+			d = k.Radius
+		}
+	}
+	return d
+}
+
+// HasValueBasedKeyForType reports whether some non-recursive key is
+// defined on the type. The entity-dependency optimization of §4.2 seeds
+// the first round with pairs whose types have value-based keys only.
+func (s *Set) HasValueBasedKeyForType(typeName string) bool {
+	for _, k := range s.byType[typeName] {
+		if !k.Recursive {
+			return true
+		}
+	}
+	return false
+}
+
+// DependencyEdges returns the type-dependency relation induced by
+// recursive keys: τ -> τ' iff some key for τ has an entity variable of
+// type τ'. Identifying a pair of type τ may require having identified a
+// pair of type τ' first.
+func (s *Set) DependencyEdges() map[string][]string {
+	dep := make(map[string][]string)
+	for t, ks := range s.byType {
+		seen := make(map[string]bool)
+		for _, k := range ks {
+			for _, t2 := range k.EntityVarTypes() {
+				if !seen[t2] {
+					seen[t2] = true
+					dep[t] = append(dep[t], t2)
+				}
+			}
+		}
+		sort.Strings(dep[t])
+	}
+	return dep
+}
+
+// LongestChain computes c, the length of the longest dependency chain in
+// Σ (§6 workload parameter): the longest path in the type-dependency
+// graph, counted in edges. If the dependency graph is cyclic (mutually
+// recursive keys, like Q1/Q3 of the paper), cyclic is true and the chain
+// length counts each strongly connected component once, weighted by its
+// size — the value is then a lower bound on the serialization depth.
+func (s *Set) LongestChain() (c int, cyclic bool) {
+	dep := s.DependencyEdges()
+	// Collect the vertex set: types with keys plus referenced types.
+	idx := make(map[string]int)
+	var names []string
+	add := func(t string) {
+		if _, ok := idx[t]; !ok {
+			idx[t] = len(names)
+			names = append(names, t)
+		}
+	}
+	for t, ds := range dep {
+		add(t)
+		for _, d := range ds {
+			add(d)
+		}
+	}
+	for t := range s.byType {
+		add(t)
+	}
+	n := len(names)
+	adj := make([][]int, n)
+	for t, ds := range dep {
+		for _, d := range ds {
+			adj[idx[t]] = append(adj[idx[t]], idx[d])
+		}
+	}
+	comp, sizes, compAdj, hasSelfLoop := tarjanCondense(adj)
+	for v := range adj {
+		if sizes[comp[v]] > 1 {
+			cyclic = true
+		}
+	}
+	for _, v := range hasSelfLoop {
+		if v {
+			cyclic = true
+		}
+	}
+	// Longest path in the condensation DAG, weighting a component of
+	// size k as k-1 internal steps plus 1 per crossing edge.
+	memo := make([]int, len(sizes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var dfs func(int) int
+	dfs = func(u int) int {
+		if memo[u] >= 0 {
+			return memo[u]
+		}
+		best := sizes[u] - 1
+		for _, v := range compAdj[u] {
+			if l := dfs(v) + sizes[u]; l > best {
+				best = l
+			}
+		}
+		memo[u] = best
+		return best
+	}
+	for u := range sizes {
+		if l := dfs(u); l > c {
+			c = l
+		}
+	}
+	return c, cyclic
+}
+
+// tarjanCondense computes strongly connected components of adj and the
+// condensation DAG. It returns the component index of each vertex, the
+// size of each component, the condensation adjacency, and per-component
+// self-loop flags (a vertex with an edge to itself).
+func tarjanCondense(adj [][]int) (comp []int, sizes []int, compAdj [][]int, selfLoop []bool) {
+	n := len(adj)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter := 0
+	nComp := 0
+
+	// Iterative Tarjan to avoid deep recursion on long chains.
+	type frame struct{ v, ei int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 && low[v] < low[frames[len(frames)-1].v] {
+				low[frames[len(frames)-1].v] = low[v]
+			}
+			if low[v] == index[v] {
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					size++
+					if w == v {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+				nComp++
+			}
+		}
+	}
+	compAdj = make([][]int, nComp)
+	selfLoop = make([]bool, nComp)
+	edgeSeen := make(map[[2]int]bool)
+	for v := range adj {
+		for _, w := range adj[v] {
+			cu, cw := comp[v], comp[w]
+			if cu == cw {
+				if v == w {
+					selfLoop[cu] = true
+				}
+				continue
+			}
+			if !edgeSeen[[2]int{cu, cw}] {
+				edgeSeen[[2]int{cu, cw}] = true
+				compAdj[cu] = append(compAdj[cu], cw)
+			}
+		}
+	}
+	return comp, sizes, compAdj, selfLoop
+}
+
+// Format renders the whole set back into the DSL.
+func (s *Set) Format() string {
+	var b strings.Builder
+	for i, k := range s.keys {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(pattern.Format(pattern.Named{Name: k.Name, Pattern: k.Pattern}))
+	}
+	return b.String()
+}

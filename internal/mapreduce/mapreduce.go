@@ -1,0 +1,188 @@
+// Package mapreduce is an in-process simulation of the MapReduce
+// execution model used by algorithm EMMR of "Keys for Graphs" (§4): p
+// parallel map tasks, a hash shuffle grouping intermediate values by
+// key, p parallel reduce tasks, and a synchronization barrier between
+// phases. Invariant inputs (the graph, keys, cached d-neighbors) stay
+// in memory across rounds, as HaLoop-style caching would keep them on
+// the worker disks.
+//
+// The runtime records per-round statistics — wall time per phase, the
+// straggler (slowest map task) time, and data volumes — because the
+// paper's EMMR-vs-EMVC comparison is precisely about the costs of the
+// synchronization barrier and of shipping intermediate state.
+package mapreduce
+
+import (
+	"sync"
+	"time"
+)
+
+// RoundStats describes one MapReduce round.
+type RoundStats struct {
+	// Inputs is the number of input records mapped.
+	Inputs int
+	// Emitted is the number of intermediate key/value pairs shuffled.
+	Emitted int
+	// Keys is the number of distinct reduce keys.
+	Keys int
+	// Outputs is the number of records the reducers emitted.
+	Outputs int
+	// MapWall and ReduceWall are the wall-clock durations of the phases.
+	MapWall, ReduceWall time.Duration
+	// Straggler is the duration of the slowest map task: the barrier
+	// makes every other worker wait this long.
+	Straggler time.Duration
+	// IdleWait is the summed difference between the straggler and each
+	// map task's own duration — time workers spent blocked on the
+	// barrier ("blocking of stragglers", §5).
+	IdleWait time.Duration
+	// SimulatedIO is the charged cluster cost of this round, when a
+	// CostModel is configured.
+	SimulatedIO time.Duration
+}
+
+// CostModel simulates the per-round constants of a real MapReduce
+// deployment that an in-process simulation does not naturally pay: job
+// scheduling and startup (RoundLatency) and the materialization of
+// intermediate key/value pairs to distributed storage (PerKV). The
+// paper's EMVC-vs-EMMR gap is dominated by exactly these costs ("the
+// I/O bound property and the synchronization policy of MapReduce", §5);
+// the cluster-comparison experiment enables the model to reproduce that
+// gap, and it is zero (disabled) everywhere else.
+type CostModel struct {
+	RoundLatency time.Duration
+	PerKV        time.Duration
+}
+
+// Runtime carries the worker count and accumulates round statistics.
+// A Runtime is not safe for concurrent Round calls; engines run rounds
+// sequentially (that is the point of the model).
+type Runtime struct {
+	p     int
+	stats []RoundStats
+	// TaskDelay, if set, is invoked once per map task with the worker
+	// index; tests inject artificial stragglers through it.
+	TaskDelay func(worker int)
+	// Cost, if non-zero, charges simulated cluster constants per round.
+	Cost CostModel
+}
+
+// New returns a runtime with p parallel workers (p >= 1).
+func New(p int) *Runtime {
+	if p < 1 {
+		p = 1
+	}
+	return &Runtime{p: p}
+}
+
+// P returns the worker count.
+func (rt *Runtime) P() int { return rt.p }
+
+// Stats returns the per-round statistics so far.
+func (rt *Runtime) Stats() []RoundStats { return rt.stats }
+
+// Rounds returns the number of rounds executed.
+func (rt *Runtime) Rounds() int { return len(rt.stats) }
+
+// Round runs one MapReduce round: mapFn over every input on p workers,
+// a shuffle grouping by key, then reduceFn per key on p workers.
+// Reducers for different keys run concurrently; emit callbacks are safe
+// to call from the task goroutine they were handed to.
+func Round[I any, K comparable, V any, O any](
+	rt *Runtime,
+	inputs []I,
+	mapFn func(in I, emit func(K, V)),
+	reduceFn func(key K, values []V, emit func(O)),
+) []O {
+	st := RoundStats{Inputs: len(inputs)}
+
+	// ---- Map phase ----
+	mapStart := time.Now()
+	type mapOut struct {
+		kvs  []kv[K, V]
+		took time.Duration
+	}
+	outs := make([]mapOut, rt.p)
+	var wg sync.WaitGroup
+	for w := 0; w < rt.p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			if rt.TaskDelay != nil {
+				rt.TaskDelay(w)
+			}
+			var local []kv[K, V]
+			emit := func(k K, v V) { local = append(local, kv[K, V]{k, v}) }
+			// Strided partitioning keeps expensive neighboring inputs
+			// from landing on one worker.
+			for i := w; i < len(inputs); i += rt.p {
+				mapFn(inputs[i], emit)
+			}
+			outs[w] = mapOut{kvs: local, took: time.Since(t0)}
+		}(w)
+	}
+	wg.Wait()
+	st.MapWall = time.Since(mapStart)
+	for _, o := range outs {
+		if o.took > st.Straggler {
+			st.Straggler = o.took
+		}
+	}
+	for _, o := range outs {
+		st.IdleWait += st.Straggler - o.took
+	}
+
+	// ---- Shuffle ----
+	groups := make(map[K][]V)
+	for _, o := range outs {
+		st.Emitted += len(o.kvs)
+		for _, pair := range o.kvs {
+			groups[pair.k] = append(groups[pair.k], pair.v)
+		}
+	}
+	st.Keys = len(groups)
+	keys := make([]K, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+
+	// ---- Reduce phase ----
+	reduceStart := time.Now()
+	results := make([][]O, rt.p)
+	for w := 0; w < rt.p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []O
+			emit := func(o O) { local = append(local, o) }
+			for i := w; i < len(keys); i += rt.p {
+				reduceFn(keys[i], groups[keys[i]], emit)
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	st.ReduceWall = time.Since(reduceStart)
+
+	var out []O
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	st.Outputs = len(out)
+
+	// Simulated cluster constants (zero by default).
+	if rt.Cost.RoundLatency > 0 || rt.Cost.PerKV > 0 {
+		charge := rt.Cost.RoundLatency + time.Duration(st.Emitted)*rt.Cost.PerKV
+		st.SimulatedIO = charge
+		time.Sleep(charge)
+	}
+
+	rt.stats = append(rt.stats, st)
+	return out
+}
+
+type kv[K comparable, V any] struct {
+	k K
+	v V
+}

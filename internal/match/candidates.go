@@ -1,0 +1,146 @@
+package match
+
+import (
+	"sort"
+
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/graph"
+)
+
+// This file builds the candidate set L of §4.1 — all entity pairs of the
+// same type on which at least one key is defined — its pairing-filtered
+// variant of §4.2, and the entity-pair dependency index used by the
+// entity-dependency and incremental-checking optimizations (§4.2) and by
+// the dep edges of the product graph (§5.1).
+
+// Candidates returns the unfiltered candidate set L: every unordered
+// pair of distinct same-type entities whose type has a key. The result
+// is sorted for determinism.
+func (m *Matcher) Candidates() []eqrel.Pair {
+	var out []eqrel.Pair
+	for _, t := range m.KeyedTypes() {
+		ents := m.G.EntitiesOfType(t)
+		for i := 0; i < len(ents); i++ {
+			for j := i + 1; j < len(ents); j++ {
+				out = append(out, eqrel.MakePair(int32(ents[i]), int32(ents[j])))
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// CandidatesPaired returns L filtered by the pairing necessary
+// condition (§4.2 "Reducing L"): pairs no key can pair are dropped.
+func (m *Matcher) CandidatesPaired() []eqrel.Pair {
+	all := m.Candidates()
+	out := all[:0]
+	for _, pr := range all {
+		if m.CanBePaired(graph.NodeID(pr.A), graph.NodeID(pr.B)) {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+func sortPairs(ps []eqrel.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// DependencyIndex records, for a fixed candidate list, which candidate
+// pairs depend on which entities: pair (e1, e2) depends on (e1', e2')
+// if the latter lies within the d-neighbors of the former and has the
+// type of an entity variable y of some recursive key defined on the
+// former (§4.2). The index is keyed by single entities: when (u, v) is
+// identified, the union of Dependents(u) and Dependents(v) is the set
+// of pairs whose checks may newly succeed.
+type DependencyIndex struct {
+	pairs      []eqrel.Pair
+	dependents map[graph.NodeID][]int
+	// valueSeed marks pairs whose type has at least one value-based key:
+	// the L0 seed set of the entity-dependency optimization.
+	valueSeed []bool
+	// recursiveOnly marks pairs whose type has only recursive keys.
+	recursiveOnly []bool
+}
+
+// BuildDependencyIndex analyzes the candidate list against the matcher's
+// key set.
+func (m *Matcher) BuildDependencyIndex(pairs []eqrel.Pair) *DependencyIndex {
+	idx := &DependencyIndex{
+		pairs:         pairs,
+		dependents:    make(map[graph.NodeID][]int),
+		valueSeed:     make([]bool, len(pairs)),
+		recursiveOnly: make([]bool, len(pairs)),
+	}
+	for i, pr := range pairs {
+		a, b := graph.NodeID(pr.A), graph.NodeID(pr.B)
+		t := m.G.TypeOf(a)
+		typeName := m.G.TypeName(t)
+		idx.valueSeed[i] = m.Set.HasValueBasedKeyForType(typeName)
+		idx.recursiveOnly[i] = !idx.valueSeed[i]
+
+		// Types of entity variables across the recursive keys on t.
+		depTypes := make(map[graph.TypeID]bool)
+		for _, ck := range m.byType[t] {
+			if !ck.Key.Recursive {
+				continue
+			}
+			for _, tn := range ck.Key.EntityVarTypes() {
+				if tid, ok := m.G.TypeByName(tn); ok {
+					depTypes[tid] = true
+				}
+			}
+		}
+		if len(depTypes) == 0 {
+			continue
+		}
+		register := func(n graph.NodeID) {
+			if n == a || n == b {
+				return
+			}
+			if !m.G.IsEntity(n) || !depTypes[m.G.TypeOf(n)] {
+				return
+			}
+			ds := idx.dependents[n]
+			if len(ds) > 0 && ds[len(ds)-1] == i {
+				return // already registered via the other neighborhood
+			}
+			idx.dependents[n] = append(ds, i)
+		}
+		m.Neighborhood(a).Each(register)
+		m.Neighborhood(b).Each(register)
+	}
+	return idx
+}
+
+// Pairs returns the candidate list the index was built over.
+func (d *DependencyIndex) Pairs() []eqrel.Pair { return d.pairs }
+
+// Links counts the entity→pair dependency registrations: the dep-edge
+// volume of the product graph in §5.1.
+func (d *DependencyIndex) Links() int {
+	n := 0
+	for _, ds := range d.dependents {
+		n += len(ds)
+	}
+	return n
+}
+
+// Dependents returns the indices (into Pairs) of candidate pairs that
+// depend on entity n.
+func (d *DependencyIndex) Dependents(n graph.NodeID) []int { return d.dependents[n] }
+
+// HasValueSeed reports whether pair i belongs to the L0 seed set: its
+// type has a value-based key, so it can be identified without waiting
+// for any other pair.
+func (d *DependencyIndex) HasValueSeed(i int) bool { return d.valueSeed[i] }
+
+// RecursiveOnly reports whether pair i can only be identified by
+// recursive keys.
+func (d *DependencyIndex) RecursiveOnly(i int) bool { return d.recursiveOnly[i] }

@@ -1,0 +1,403 @@
+// Package match implements the matching machinery of "Keys for Graphs"
+// (Fan et al., PVLDB 2015): deciding whether a pair of entities is
+// identified by a key given the equivalence relation Eq computed so far.
+//
+// The central routine is the guided-search checker of §4.1 (procedure
+// EvalMR): it combines the two subgraph-isomorphism searches (the match
+// of Q(x) at e1 and at e2) into one backtracking search over a vector m
+// that instantiates each pattern node with a pair (s1, s2), checking the
+// feasibility conditions Injective, Equality and Guided expansion, and
+// terminating early at the first full instantiation.
+//
+// The package also provides the VF2-flavored baseline used by EM^VF2_MR
+// (enumerate all matches at e1 and at e2 separately, then test whether
+// any two coincide), the pairing relation of §4.2 (Proposition 9) used
+// to filter the candidate set L and shrink d-neighbors, candidate-set
+// construction, and the entity-pair dependency index that powers the
+// incremental-checking optimizations of §4.2 and the dep edges of §5.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+	"graphkeys/internal/pattern"
+)
+
+// EqView is the read interface the matcher needs on the equivalence
+// relation Eq. Both *eqrel.Eq and *eqrel.Safe implement it.
+type EqView interface {
+	Same(a, b int32) bool
+}
+
+// Options configures matching.
+type Options struct {
+	// ValueEq decides value equality. nil means exact string equality.
+	// The paper's Remark (1) notes keys extend to similarity predicates;
+	// plugging a similarity function here is that extension.
+	ValueEq func(a, b string) bool
+	// Workers parallelizes the d-neighbor precomputation in New across
+	// this many goroutines (the paper's DriverMR constructs d-neighbors
+	// as a MapReduce job, §4.1). Values below 2 mean sequential.
+	Workers int
+}
+
+func (o Options) valueEq(a, b string) bool {
+	if o.ValueEq == nil {
+		return a == b
+	}
+	return o.ValueEq(a, b)
+}
+
+// compiledNode is a pattern node resolved against one graph.
+type compiledNode struct {
+	kind    keyNodeKind
+	typ     graph.TypeID // entity-like nodes
+	constID graph.NodeID // Const nodes: the value node in G, or NoNode
+}
+
+type keyNodeKind uint8
+
+const (
+	kDesignated keyNodeKind = iota
+	kEntityVar
+	kValueVar
+	kWildcard
+	kConst
+)
+
+// compiledTriple is a pattern triple with the predicate resolved.
+type compiledTriple struct {
+	subj, obj int
+	pred      graph.PredID
+}
+
+// CompiledKey is a key compiled against a specific graph: predicate and
+// type names resolved to IDs, plus a search order over pattern nodes.
+// A key whose predicates, types or constants do not occur in the graph
+// cannot match anything; such keys compile with matchable == false.
+type CompiledKey struct {
+	Key *keys.Key
+
+	nodes   []compiledNode
+	triples []compiledTriple
+	x       int
+	// incident[i] lists the triples touching pattern node i.
+	incident [][]int
+	// order is a node instantiation order: order[0] == x and every later
+	// node is adjacent to an earlier one (patterns are connected).
+	// anchor[i] picks, for order position i>0, a triple connecting
+	// order[i] to an already-instantiated node.
+	order  []int
+	anchor []int
+
+	matchable bool
+}
+
+// Matchable reports whether the key can possibly match in the graph it
+// was compiled against.
+func (ck *CompiledKey) Matchable() bool { return ck.matchable }
+
+// Compile resolves a key against g. The returned key is read-only and
+// safe for concurrent use.
+func Compile(g *graph.Graph, k *keys.Key) (*CompiledKey, error) {
+	p := k.Pattern
+	ck := &CompiledKey{
+		Key:       k,
+		x:         p.X,
+		matchable: true,
+	}
+	ck.nodes = make([]compiledNode, len(p.Nodes))
+	for i, n := range p.Nodes {
+		cn := compiledNode{constID: graph.NoNode}
+		switch n.Kind {
+		case pattern.Designated:
+			cn.kind = kDesignated
+		case pattern.EntityVar:
+			cn.kind = kEntityVar
+		case pattern.ValueVar:
+			cn.kind = kValueVar
+		case pattern.Wildcard:
+			cn.kind = kWildcard
+		case pattern.Const:
+			cn.kind = kConst
+		default:
+			return nil, fmt.Errorf("match: %s: unknown node kind %d", k.Name, n.Kind)
+		}
+		if cn.kind == kDesignated || cn.kind == kEntityVar || cn.kind == kWildcard {
+			t, ok := g.TypeByName(n.Type)
+			if !ok {
+				ck.matchable = false
+			}
+			cn.typ = t
+		}
+		if cn.kind == kConst {
+			if v, ok := g.Value(n.Value); ok {
+				cn.constID = v
+			} else {
+				ck.matchable = false
+			}
+		}
+		ck.nodes[i] = cn
+	}
+	ck.triples = make([]compiledTriple, len(p.Triples))
+	ck.incident = make([][]int, len(p.Nodes))
+	for ti, t := range p.Triples {
+		pid, ok := g.PredByName(t.Pred)
+		if !ok {
+			ck.matchable = false
+		}
+		ck.triples[ti] = compiledTriple{subj: t.Subj, obj: t.Obj, pred: pid}
+		ck.incident[t.Subj] = append(ck.incident[t.Subj], ti)
+		if t.Obj != t.Subj {
+			ck.incident[t.Obj] = append(ck.incident[t.Obj], ti)
+		}
+	}
+	ck.buildOrder()
+	return ck, nil
+}
+
+// buildOrder computes a connected instantiation order starting at x,
+// preferring nodes with more already-satisfiable constraints first
+// (constants and value variables early: they prune hardest).
+func (ck *CompiledKey) buildOrder() {
+	n := len(ck.nodes)
+	placed := make([]bool, n)
+	ck.order = make([]int, 0, n)
+	ck.anchor = make([]int, 0, n)
+	ck.order = append(ck.order, ck.x)
+	ck.anchor = append(ck.anchor, -1)
+	placed[ck.x] = true
+	for len(ck.order) < n {
+		best, bestAnchor, bestScore := -1, -1, -1
+		for cand := 0; cand < n; cand++ {
+			if placed[cand] {
+				continue
+			}
+			// Find a triple connecting cand to a placed node.
+			anchor := -1
+			links := 0
+			for _, ti := range ck.incident[cand] {
+				t := ck.triples[ti]
+				other := t.subj
+				if other == cand {
+					other = t.obj
+				}
+				if placed[other] {
+					links++
+					if anchor == -1 {
+						anchor = ti
+					}
+				}
+			}
+			if anchor == -1 {
+				continue
+			}
+			score := links * 10
+			switch ck.nodes[cand].kind {
+			case kConst:
+				score += 5
+			case kValueVar:
+				score += 4
+			case kEntityVar:
+				score += 2
+			}
+			if score > bestScore {
+				best, bestAnchor, bestScore = cand, anchor, score
+			}
+		}
+		if best == -1 {
+			// Disconnected pattern; Validate prevents this, but guard to
+			// keep the matcher total.
+			for cand := 0; cand < n; cand++ {
+				if !placed[cand] {
+					best, bestAnchor = cand, -1
+					break
+				}
+			}
+		}
+		placed[best] = true
+		ck.order = append(ck.order, best)
+		ck.anchor = append(ck.anchor, bestAnchor)
+	}
+}
+
+// Matcher holds a key set compiled against one graph plus the cached
+// per-entity d-neighbors the drivers of §4/§5 construct up front. It is
+// read-only after New and safe for concurrent use.
+type Matcher struct {
+	G    *graph.Graph
+	Set  *keys.Set
+	Opts Options
+
+	// compiled keys per entity type, in the set's per-type order
+	// (value-based first).
+	byType map[graph.TypeID][]*CompiledKey
+	// dByType is the per-type neighborhood bound d.
+	dByType map[graph.TypeID]int
+	// neighborhoods caches Gd for every entity of a keyed type.
+	neighborhoods map[graph.NodeID]*graph.NodeSet
+}
+
+// New compiles the key set against g and precomputes the d-neighbor of
+// every entity a key is defined on (the paper's DriverMR line 1).
+func New(g *graph.Graph, set *keys.Set, opts Options) (*Matcher, error) {
+	m := &Matcher{
+		G:             g,
+		Set:           set,
+		Opts:          opts,
+		byType:        make(map[graph.TypeID][]*CompiledKey),
+		dByType:       make(map[graph.TypeID]int),
+		neighborhoods: make(map[graph.NodeID]*graph.NodeSet),
+	}
+	for _, typeName := range set.Types() {
+		tid, ok := g.TypeByName(typeName)
+		if !ok {
+			continue // no entities of this type in G
+		}
+		for _, k := range set.ForType(typeName) {
+			ck, err := Compile(g, k)
+			if err != nil {
+				return nil, err
+			}
+			m.byType[tid] = append(m.byType[tid], ck)
+		}
+		m.dByType[tid] = set.MaxRadiusForType(typeName)
+	}
+	// Precompute d-neighbors for every keyed entity, in parallel when
+	// asked: the neighborhoods are read-only afterwards.
+	type job struct {
+		e graph.NodeID
+		d int
+	}
+	var jobs []job
+	for tid, d := range m.dByType {
+		for _, e := range g.EntitiesOfType(tid) {
+			jobs = append(jobs, job{e, d})
+		}
+	}
+	results := make([]*graph.NodeSet, len(jobs))
+	p := opts.Workers
+	if p < 2 || len(jobs) < 2*p {
+		for i, j := range jobs {
+			results[i] = g.Neighborhood(j.e, j.d)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(jobs); i += p {
+					results[i] = g.Neighborhood(jobs[i].e, jobs[i].d)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for i, j := range jobs {
+		m.neighborhoods[j.e] = results[i]
+	}
+	return m, nil
+}
+
+// Parallel runs fn(i) for i in [0, n) on the matcher-configured worker
+// count (falling back to sequential); it is the shared helper the
+// engine drivers use for their per-candidate precomputation (pairing
+// filters, reduced neighborhoods, product-graph tuples).
+func Parallel(workers, n int, fn func(i int)) {
+	if workers < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// KeysFor returns the compiled keys defined on entities of type t.
+func (m *Matcher) KeysFor(t graph.TypeID) []*CompiledKey { return m.byType[t] }
+
+// KeyedTypes returns the graph type IDs that have keys, sorted.
+func (m *Matcher) KeyedTypes() []graph.TypeID {
+	out := make([]graph.TypeID, 0, len(m.byType))
+	for t := range m.byType {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighborhood returns the cached d-neighbor of e, where d is the
+// maximum radius of the keys on e's type. It returns nil (= the whole
+// graph) if e's type has no keys; callers only ask for keyed entities.
+func (m *Matcher) Neighborhood(e graph.NodeID) *graph.NodeSet {
+	return m.neighborhoods[e]
+}
+
+// RadiusFor returns the d-neighbor bound for type t.
+func (m *Matcher) RadiusFor(t graph.TypeID) int { return m.dByType[t] }
+
+// The accessors below expose the compiled pattern structure to the
+// vertex-centric engine (package emvc), which drives its own message
+// propagation over the product graph but reuses this compilation.
+
+// PatternNodeCount returns the number of pattern nodes.
+func (ck *CompiledKey) PatternNodeCount() int { return len(ck.nodes) }
+
+// XIndex returns the index of the designated variable x.
+func (ck *CompiledKey) XIndex() int { return ck.x }
+
+// NodeInfo describes pattern node i: its kind (as the pattern package
+// kind), resolved entity type (entity-like nodes) and the graph value
+// node of a constant (or graph.NoNode).
+func (ck *CompiledKey) NodeInfo(i int) (kind pattern.NodeKind, typ graph.TypeID, constID graph.NodeID) {
+	n := ck.nodes[i]
+	switch n.kind {
+	case kDesignated:
+		kind = pattern.Designated
+	case kEntityVar:
+		kind = pattern.EntityVar
+	case kValueVar:
+		kind = pattern.ValueVar
+	case kWildcard:
+		kind = pattern.Wildcard
+	case kConst:
+		kind = pattern.Const
+	}
+	return kind, n.typ, n.constID
+}
+
+// TripleCount returns |Q|.
+func (ck *CompiledKey) TripleCount() int { return len(ck.triples) }
+
+// TripleAt returns pattern triple i with its resolved predicate.
+func (ck *CompiledKey) TripleAt(i int) (subj int, pred graph.PredID, obj int) {
+	t := ck.triples[i]
+	return t.subj, t.pred, t.obj
+}
+
+// IncidentTriples returns the indices of triples touching pattern node
+// i. The slice is owned by the key.
+func (ck *CompiledKey) IncidentTriples(i int) []int { return ck.incident[i] }
+
+// identityEq is the Eq0 view: only (e, e) pairs.
+type identityEq struct{}
+
+func (identityEq) Same(a, b int32) bool { return a == b }
+
+// Identity returns the node-identity relation view Eq0.
+func Identity() EqView { return identityEq{} }

@@ -1,0 +1,250 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Named is a pattern with a name, as written in the DSL. The keys
+// package wraps Named patterns into key sets.
+type Named struct {
+	Name string
+	*Pattern
+}
+
+// The DSL, by example:
+//
+//	# Q1: an album is identified by its name and its recording artist.
+//	key Q1 for album {
+//	    x -name_of-> name*
+//	    x -recorded_by-> $y:artist
+//	}
+//
+//	key Q4 for company {
+//	    x -name_of-> name*
+//	    _:company -name_of-> name*
+//	    _:company -parent_of-> x
+//	    $c:company -parent_of-> x
+//	}
+//
+//	key Q6 for street {
+//	    x -zip_code-> code*
+//	    x -nation_of-> "UK"
+//	}
+//
+// Node tokens:
+//
+//	x            the designated variable (type comes from the header)
+//	$y:type      entity variable y of the given type (recursive)
+//	name*        value variable
+//	_:type       anonymous wildcard (each occurrence is a distinct node)
+//	_w:type      named wildcard (occurrences share one node)
+//	"literal"    constant value (Go string syntax)
+//
+// Edges are written  subject -predicate-> object ; the subject is always
+// on the left. Comments start with '#'. Several keys may appear in one
+// input.
+
+// Parse reads every key in the DSL input. Each parsed pattern is
+// validated (see Pattern.Validate).
+func Parse(r io.Reader) ([]Named, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Named
+	var cur *keyBuilder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case cur == nil:
+			kb, err := parseHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: line %d: %v", lineNo, err)
+			}
+			cur = kb
+		case line == "}":
+			named, err := cur.finish()
+			if err != nil {
+				return nil, fmt.Errorf("pattern: key %q (ending line %d): %v", cur.name, lineNo, err)
+			}
+			out = append(out, named)
+			cur = nil
+		default:
+			if err := cur.addEdgeLine(line); err != nil {
+				return nil, fmt.Errorf("pattern: line %d: %v", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pattern: read: %v", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("pattern: key %q: missing closing '}'", cur.name)
+	}
+	return out, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) ([]Named, error) { return Parse(strings.NewReader(s)) }
+
+// MustParseOne parses exactly one key and panics on any error; it is a
+// convenience for tests and examples.
+func MustParseOne(s string) Named {
+	ks, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	if len(ks) != 1 {
+		panic(fmt.Sprintf("pattern: MustParseOne: got %d keys", len(ks)))
+	}
+	return ks[0]
+}
+
+type keyBuilder struct {
+	name    string
+	typ     string
+	nodes   []Node
+	triples []Triple
+	byToken map[string]int // canonical token -> node index
+	anon    int            // counter for anonymous wildcards
+}
+
+// parseHeader parses `key NAME for TYPE {`.
+func parseHeader(line string) (*keyBuilder, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 || fields[0] != "key" || fields[2] != "for" || fields[4] != "{" {
+		return nil, fmt.Errorf("want `key NAME for TYPE {`, got %q", line)
+	}
+	kb := &keyBuilder{name: fields[1], typ: fields[3], byToken: make(map[string]int)}
+	kb.nodes = append(kb.nodes, Node{Kind: Designated, Name: "x", Type: kb.typ})
+	kb.byToken["x"] = 0
+	return kb, nil
+}
+
+// addEdgeLine parses `subj -pred-> obj`.
+func (kb *keyBuilder) addEdgeLine(line string) error {
+	s := line
+	subj, rest, err := kb.scanNode(s)
+	if err != nil {
+		return fmt.Errorf("subject: %v", err)
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if !strings.HasPrefix(rest, "-") {
+		return fmt.Errorf("want `-pred->` after subject in %q", line)
+	}
+	arrowEnd := strings.Index(rest, "->")
+	if arrowEnd < 0 {
+		return fmt.Errorf("unterminated predicate arrow in %q", line)
+	}
+	pred := rest[1:arrowEnd]
+	if pred == "" {
+		return fmt.Errorf("empty predicate in %q", line)
+	}
+	obj, tail, err := kb.scanNode(strings.TrimLeft(rest[arrowEnd+2:], " \t"))
+	if err != nil {
+		return fmt.Errorf("object: %v", err)
+	}
+	if tail = strings.TrimSpace(tail); tail != "" {
+		return fmt.Errorf("trailing input %q", tail)
+	}
+	kb.triples = append(kb.triples, Triple{Subj: subj, Pred: pred, Obj: obj})
+	return nil
+}
+
+// scanNode consumes one node token from the front of s and returns its
+// node index plus the remaining input.
+func (kb *keyBuilder) scanNode(s string) (int, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return 0, "", fmt.Errorf("missing node token")
+	}
+	if s[0] == '"' {
+		quoted, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad constant: %v", err)
+		}
+		lit, err := strconv.Unquote(quoted)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad constant: %v", err)
+		}
+		return kb.node("\x00const:"+lit, Node{Kind: Const, Value: lit}), s[len(quoted):], nil
+	}
+	end := strings.IndexAny(s, " \t")
+	tok := s
+	rest := ""
+	if end >= 0 {
+		tok, rest = s[:end], s[end:]
+	}
+	idx, err := kb.nodeForToken(tok)
+	return idx, rest, err
+}
+
+func (kb *keyBuilder) nodeForToken(tok string) (int, error) {
+	switch {
+	case tok == "x":
+		return 0, nil
+	case strings.HasPrefix(tok, "$"):
+		name, typ, ok := strings.Cut(tok[1:], ":")
+		if !ok || name == "" || typ == "" {
+			return 0, fmt.Errorf("entity variable %q is not of the form $name:type", tok)
+		}
+		return kb.node(tok, Node{Kind: EntityVar, Name: name, Type: typ}), nil
+	case strings.HasSuffix(tok, "*"):
+		name := tok[:len(tok)-1]
+		if name == "" {
+			return 0, fmt.Errorf("value variable %q has no name", tok)
+		}
+		return kb.node(tok, Node{Kind: ValueVar, Name: name}), nil
+	case strings.HasPrefix(tok, "_"):
+		name, typ, ok := strings.Cut(tok[1:], ":")
+		if !ok || typ == "" {
+			return 0, fmt.Errorf("wildcard %q is not of the form _:type or _name:type", tok)
+		}
+		if name == "" { // anonymous: every occurrence is a fresh node
+			kb.anon++
+			key := fmt.Sprintf("\x00anon%d", kb.anon)
+			return kb.node(key, Node{Kind: Wildcard, Type: typ}), nil
+		}
+		return kb.node(tok, Node{Kind: Wildcard, Name: name, Type: typ}), nil
+	default:
+		return 0, fmt.Errorf("unrecognized node token %q (want x, $var:type, var*, _:type or a quoted constant)", tok)
+	}
+}
+
+// node returns the index for the canonical token, adding the node on
+// first sight and checking that repeats agree on kind and type.
+func (kb *keyBuilder) node(canonical string, n Node) int {
+	if i, ok := kb.byToken[canonical]; ok {
+		return i
+	}
+	kb.nodes = append(kb.nodes, n)
+	kb.byToken[canonical] = len(kb.nodes) - 1
+	return len(kb.nodes) - 1
+}
+
+func (kb *keyBuilder) finish() (Named, error) {
+	p := &Pattern{Nodes: kb.nodes, Triples: kb.triples, X: 0}
+	if err := p.Validate(); err != nil {
+		return Named{}, err
+	}
+	return Named{Name: kb.name, Pattern: p}, nil
+}
+
+// Format renders a named key back into the DSL; Parse(Format(k)) is
+// equivalent to k up to anonymous wildcard numbering.
+func Format(k Named) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "key %s for %s {\n", k.Name, k.Type())
+	for _, line := range strings.Split(strings.TrimRight(k.Pattern.String(), "\n"), "\n") {
+		fmt.Fprintf(&b, "    %s\n", line)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

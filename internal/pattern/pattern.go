@@ -1,0 +1,278 @@
+// Package pattern implements graph patterns Q(x) from "Keys for Graphs"
+// (Fan et al., PVLDB 2015), Section 2.
+//
+// A pattern is a set of triples (sQ, pQ, oQ) over pattern nodes. A node is
+// one of:
+//
+//   - the designated entity variable x (exactly one per pattern), which
+//     denotes the entity to be identified and carries its type τ;
+//   - an entity variable y with a type, which must map to an entity whose
+//     node identity is checked (these make a key recursively defined);
+//   - a value variable y* which must map to a data value, checked by
+//     value equality;
+//   - a wildcard ȳ with a type, which must map to an entity of that type
+//     whose identity is NOT checked (existence only);
+//   - a constant d, a value-binding condition.
+//
+// Subjects must be entity-like nodes (designated, entity variable or
+// wildcard); objects may be any node. Patterns must be connected when
+// viewed as undirected graphs.
+//
+// Patterns are written in a small text DSL, see Parse.
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeKind classifies pattern nodes.
+type NodeKind uint8
+
+const (
+	// Designated is the variable x whose entity the key identifies.
+	Designated NodeKind = iota
+	// EntityVar is a variable y: maps to an entity, node identity enforced.
+	EntityVar
+	// ValueVar is a variable y*: maps to a value, value equality enforced.
+	ValueVar
+	// Wildcard is a variable ȳ: maps to an entity of the right type,
+	// identity not enforced.
+	Wildcard
+	// Const is a constant value d: both matches must bind exactly d.
+	Const
+)
+
+// String returns a short human-readable kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case Designated:
+		return "designated"
+	case EntityVar:
+		return "entity-var"
+	case ValueVar:
+		return "value-var"
+	case Wildcard:
+		return "wildcard"
+	case Const:
+		return "const"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// IsEntityLike reports whether nodes of this kind bind to entities.
+func (k NodeKind) IsEntityLike() bool {
+	return k == Designated || k == EntityVar || k == Wildcard
+}
+
+// Node is one pattern node.
+type Node struct {
+	Kind  NodeKind
+	Name  string // variable name; empty for anonymous wildcards and constants
+	Type  string // entity type for entity-like nodes
+	Value string // literal for Const nodes
+}
+
+// Triple is one pattern triple; Subj and Obj index Pattern.Nodes.
+type Triple struct {
+	Subj int
+	Pred string
+	Obj  int
+}
+
+// Pattern is a graph pattern Q(x).
+type Pattern struct {
+	Nodes   []Node
+	Triples []Triple
+	X       int // index of the designated node in Nodes
+}
+
+// Type returns the type τ of the designated variable: the entity type
+// this pattern is a key for.
+func (p *Pattern) Type() string { return p.Nodes[p.X].Type }
+
+// Size returns |Q|, the number of triples.
+func (p *Pattern) Size() int { return len(p.Triples) }
+
+// IsRecursive reports whether the pattern contains an entity variable
+// other than x (§2.2): identifying x then depends on identifying other
+// entities, which is what makes entity matching require a fixpoint.
+func (p *Pattern) IsRecursive() bool {
+	for i, n := range p.Nodes {
+		if i != p.X && n.Kind == EntityVar {
+			return true
+		}
+	}
+	return false
+}
+
+// EntityVarTypes returns the set of types of entity variables other than
+// x. These induce the key-dependency edges used to compute dependency
+// chains and dep edges in the product graph.
+func (p *Pattern) EntityVarTypes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i, n := range p.Nodes {
+		if i != p.X && n.Kind == EntityVar && !seen[n.Type] {
+			seen[n.Type] = true
+			out = append(out, n.Type)
+		}
+	}
+	return out
+}
+
+// Radius returns d(Q, x): the longest undirected distance from x to any
+// node of the pattern (§2.2, Table 1).
+func (p *Pattern) Radius() int {
+	dist := p.distancesFromX()
+	max := 0
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// distancesFromX runs an undirected BFS from x. Unreachable nodes keep
+// distance -1 (Validate rejects those).
+func (p *Pattern) distancesFromX() []int {
+	adj := make([][]int, len(p.Nodes))
+	for _, t := range p.Triples {
+		adj[t.Subj] = append(adj[t.Subj], t.Obj)
+		adj[t.Obj] = append(adj[t.Obj], t.Subj)
+	}
+	dist := make([]int, len(p.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[p.X] = 0
+	queue := []int{p.X}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if dist[m] == -1 {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+// Validate checks the structural well-formedness rules of §2.1:
+// exactly one designated node, entity-like subjects, typed entity-like
+// nodes, literal-bearing constants, at least one triple, connectedness,
+// in-range triple endpoints, and no unused nodes.
+func (p *Pattern) Validate() error {
+	if len(p.Triples) == 0 {
+		return fmt.Errorf("pattern: no triples")
+	}
+	if p.X < 0 || p.X >= len(p.Nodes) {
+		return fmt.Errorf("pattern: designated index %d out of range", p.X)
+	}
+	designated := 0
+	for i, n := range p.Nodes {
+		switch n.Kind {
+		case Designated:
+			designated++
+			if i != p.X {
+				return fmt.Errorf("pattern: designated node at %d but X=%d", i, p.X)
+			}
+			if n.Type == "" {
+				return fmt.Errorf("pattern: designated variable has no type")
+			}
+		case EntityVar, Wildcard:
+			if n.Type == "" {
+				return fmt.Errorf("pattern: %s %q has no type", n.Kind, n.Name)
+			}
+		case ValueVar:
+			if n.Name == "" {
+				return fmt.Errorf("pattern: value variable with empty name")
+			}
+		case Const:
+			// The empty string is a legal constant.
+		default:
+			return fmt.Errorf("pattern: node %d has invalid kind %d", i, n.Kind)
+		}
+	}
+	if designated != 1 {
+		return fmt.Errorf("pattern: %d designated variables, want exactly 1", designated)
+	}
+	used := make([]bool, len(p.Nodes))
+	for _, t := range p.Triples {
+		if t.Subj < 0 || t.Subj >= len(p.Nodes) || t.Obj < 0 || t.Obj >= len(p.Nodes) {
+			return fmt.Errorf("pattern: triple endpoint out of range (%d,%d)", t.Subj, t.Obj)
+		}
+		if t.Pred == "" {
+			return fmt.Errorf("pattern: empty predicate")
+		}
+		if !p.Nodes[t.Subj].Kind.IsEntityLike() {
+			return fmt.Errorf("pattern: triple subject %q is a %s; subjects must be entities",
+				p.nodeToken(t.Subj), p.Nodes[t.Subj].Kind)
+		}
+		used[t.Subj] = true
+		used[t.Obj] = true
+	}
+	for i, u := range used {
+		if !u {
+			return fmt.Errorf("pattern: node %q appears in no triple", p.nodeToken(i))
+		}
+	}
+	for i, d := range p.distancesFromX() {
+		if d == -1 {
+			return fmt.Errorf("pattern: node %q is not connected to x", p.nodeToken(i))
+		}
+	}
+	return nil
+}
+
+// nodeToken renders node i in the DSL syntax; used in error messages and
+// by the printer.
+func (p *Pattern) nodeToken(i int) string {
+	n := p.Nodes[i]
+	switch n.Kind {
+	case Designated:
+		return "x"
+	case EntityVar:
+		return "$" + n.Name + ":" + n.Type
+	case ValueVar:
+		return n.Name + "*"
+	case Wildcard:
+		return "_" + n.Name + ":" + n.Type
+	case Const:
+		return strconv.Quote(n.Value)
+	default:
+		return fmt.Sprintf("?%d", i)
+	}
+}
+
+// String renders the pattern body in the DSL (one triple per line).
+// Anonymous wildcards that occur in more than one triple are given
+// generated names so that re-parsing the output reconstructs the same
+// node sharing.
+func (p *Pattern) String() string {
+	occur := make([]int, len(p.Nodes))
+	for _, t := range p.Triples {
+		occur[t.Subj]++
+		occur[t.Obj]++
+	}
+	tokens := make([]string, len(p.Nodes))
+	gen := 0
+	for i, n := range p.Nodes {
+		if n.Kind == Wildcard && n.Name == "" && occur[i] > 1 {
+			gen++
+			tokens[i] = fmt.Sprintf("_w%d:%s", gen, n.Type)
+			continue
+		}
+		tokens[i] = p.nodeToken(i)
+	}
+	var b strings.Builder
+	for _, t := range p.Triples {
+		fmt.Fprintf(&b, "%s -%s-> %s\n", tokens[t.Subj], t.Pred, tokens[t.Obj])
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// PaperKeys is the DSL source for the six keys Q1–Q6 of Fig. 1.
+const PaperKeys = `
+# Q1: an album is identified by its name and its primary recording artist.
+key Q1 for album {
+    x -name_of-> name*
+    x -recorded_by-> $y:artist
+}
+
+# Q2: an album is identified by its name and year of initial release.
+key Q2 for album {
+    x -name_of-> name*
+    x -release_year-> year*
+}
+
+# Q3: an artist is identified by name and one recorded album.
+key Q3 for artist {
+    x -name_of-> name*
+    $a:album -recorded_by-> x
+}
+
+# Q4: company merged from a same-named parent: name + the other parent.
+key Q4 for company {
+    x -name_of-> name*
+    _w:company -name_of-> name*
+    _w:company -parent_of-> x
+    $c:company -parent_of-> x
+}
+
+# Q5: company split from a same-named parent: name + another child.
+key Q5 for company {
+    x -name_of-> name*
+    _w:company -name_of-> name*
+    x -parent_of-> _w:company
+    x -parent_of-> $c:company
+}
+
+# Q6: a street in the UK is identified by its zip code.
+key Q6 for street {
+    x -zip_code-> code*
+    x -nation_of-> "UK"
+}
+`
+
+func parsePaperKeys(t *testing.T) map[string]Named {
+	t.Helper()
+	ks, err := ParseString(PaperKeys)
+	if err != nil {
+		t.Fatalf("parse paper keys: %v", err)
+	}
+	m := make(map[string]Named, len(ks))
+	for _, k := range ks {
+		m[k.Name] = k
+	}
+	return m
+}
+
+func TestParsePaperKeys(t *testing.T) {
+	m := parsePaperKeys(t)
+	if len(m) != 6 {
+		t.Fatalf("parsed %d keys, want 6", len(m))
+	}
+	cases := []struct {
+		name      string
+		typ       string
+		triples   int
+		recursive bool
+		radius    int
+	}{
+		{"Q1", "album", 2, true, 1},
+		{"Q2", "album", 2, false, 1},
+		{"Q3", "artist", 2, true, 1},
+		{"Q4", "company", 4, true, 1},
+		{"Q5", "company", 4, true, 1},
+		{"Q6", "street", 2, false, 1},
+	}
+	for _, c := range cases {
+		k, ok := m[c.name]
+		if !ok {
+			t.Errorf("key %s missing", c.name)
+			continue
+		}
+		if k.Type() != c.typ {
+			t.Errorf("%s: type = %q, want %q", c.name, k.Type(), c.typ)
+		}
+		if k.Size() != c.triples {
+			t.Errorf("%s: |Q| = %d, want %d", c.name, k.Size(), c.triples)
+		}
+		if k.IsRecursive() != c.recursive {
+			t.Errorf("%s: recursive = %v, want %v", c.name, k.IsRecursive(), c.recursive)
+		}
+		if k.Radius() != c.radius {
+			t.Errorf("%s: radius = %d, want %d", c.name, k.Radius(), c.radius)
+		}
+	}
+}
+
+func TestEntityVarTypes(t *testing.T) {
+	m := parsePaperKeys(t)
+	if got := m["Q1"].EntityVarTypes(); len(got) != 1 || got[0] != "artist" {
+		t.Errorf("Q1 entity var types = %v", got)
+	}
+	if got := m["Q2"].EntityVarTypes(); len(got) != 0 {
+		t.Errorf("Q2 entity var types = %v, want none", got)
+	}
+	if got := m["Q4"].EntityVarTypes(); len(got) != 1 || got[0] != "company" {
+		t.Errorf("Q4 entity var types = %v", got)
+	}
+}
+
+func TestQ4Structure(t *testing.T) {
+	// Q4 must have 5 nodes: x, name*, shared wildcard, entity var c.
+	k := parsePaperKeys(t)["Q4"]
+	if len(k.Nodes) != 4 {
+		t.Fatalf("Q4 has %d nodes, want 4 (x, name*, _w, $c): %+v", len(k.Nodes), k.Nodes)
+	}
+	kinds := map[NodeKind]int{}
+	for _, n := range k.Nodes {
+		kinds[n.Kind]++
+	}
+	if kinds[Designated] != 1 || kinds[ValueVar] != 1 || kinds[Wildcard] != 1 || kinds[EntityVar] != 1 {
+		t.Errorf("Q4 node kinds = %v", kinds)
+	}
+}
+
+func TestAnonymousWildcardsAreDistinct(t *testing.T) {
+	k := MustParseOne(`
+key K for t {
+    x -p-> _:u
+    x -p-> _:u
+}`)
+	// Two anonymous wildcards -> two distinct nodes besides x.
+	if len(k.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3 (x + two distinct wildcards)", len(k.Nodes))
+	}
+}
+
+func TestNamedWildcardShared(t *testing.T) {
+	k := MustParseOne(`
+key K for t {
+    x -p-> _w:u
+    _w:u -q-> v*
+}`)
+	if len(k.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3 (x, shared wildcard, value var)", len(k.Nodes))
+	}
+}
+
+func TestConstantsShareNodes(t *testing.T) {
+	k := MustParseOne(`
+key K for t {
+    x -p-> "UK"
+    x -q-> "UK"
+    x -r-> "US"
+}`)
+	if len(k.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3 (x, \"UK\", \"US\")", len(k.Nodes))
+	}
+}
+
+func TestConstantsWithSpacesAndEscapes(t *testing.T) {
+	k := MustParseOne(`
+key K for t {
+    x -p-> "The Beatles"
+    x -q-> "line\nbreak"
+}`)
+	var vals []string
+	for _, n := range k.Nodes {
+		if n.Kind == Const {
+			vals = append(vals, n.Value)
+		}
+	}
+	if len(vals) != 2 || vals[0] != "The Beatles" || vals[1] != "line\nbreak" {
+		t.Errorf("constants = %q", vals)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	ks, err := ParseString(PaperKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		text := Format(k)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", k.Name, err, text)
+		}
+		if len(back) != 1 {
+			t.Fatalf("%s: reparse produced %d keys", k.Name, len(back))
+		}
+		b := back[0]
+		if b.Name != k.Name || b.Type() != k.Type() || b.Size() != k.Size() ||
+			len(b.Nodes) != len(k.Nodes) || b.IsRecursive() != k.IsRecursive() ||
+			b.Radius() != k.Radius() {
+			t.Errorf("%s: round trip changed structure:\noriginal:\n%sreparsed:\n%s",
+				k.Name, Format(k), Format(b))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"badHeader", "key Q1 album {\n}\n"},
+		{"missingBrace", "key Q1 for album {\n x -p-> v*\n"},
+		{"noTriples", "key Q1 for album {\n}\n"},
+		{"badSubjToken", "key Q for t {\n ?? -p-> v*\n}\n"},
+		{"valueVarSubject", "key Q for t {\n v* -p-> x\n}\n"},
+		{"constSubject", "key Q for t {\n \"c\" -p-> x\n}\n"},
+		{"noArrow", "key Q for t {\n x p v*\n}\n"},
+		{"emptyPred", "key Q for t {\n x --> v*\n}\n"},
+		{"trailing", "key Q for t {\n x -p-> v* junk\n}\n"},
+		{"disconnected", "key Q for t {\n x -p-> v*\n $a:t -q-> w*\n}\n"},
+		{"badEntityVar", "key Q for t {\n x -p-> $y\n}\n"},
+		{"badWildcard", "key Q for t {\n x -p-> _\n}\n"},
+		{"bareStar", "key Q for t {\n x -p-> *\n}\n"},
+		{"badConst", "key Q for t {\n x -p-> \"oops\n}\n"},
+		{"unclosedConst", "key Q for t {\n x -p-> \"a\\\n}\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.in); err == nil {
+				t.Errorf("ParseString succeeded, want error:\n%s", c.in)
+			}
+		})
+	}
+}
+
+func TestValidateDirect(t *testing.T) {
+	// Construct invalid patterns programmatically to hit Validate paths
+	// the parser cannot produce.
+	valid := func() *Pattern {
+		return &Pattern{
+			Nodes: []Node{
+				{Kind: Designated, Name: "x", Type: "t"},
+				{Kind: ValueVar, Name: "v"},
+			},
+			Triples: []Triple{{Subj: 0, Pred: "p", Obj: 1}},
+			X:       0,
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+	p := valid()
+	p.X = 5
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range X accepted")
+	}
+	p = valid()
+	p.Nodes[0].Type = ""
+	if err := p.Validate(); err == nil {
+		t.Error("untyped designated accepted")
+	}
+	p = valid()
+	p.Nodes = append(p.Nodes, Node{Kind: Designated, Name: "x2", Type: "t"})
+	p.Triples = append(p.Triples, Triple{Subj: 2, Pred: "p", Obj: 1})
+	if err := p.Validate(); err == nil {
+		t.Error("two designated nodes accepted")
+	}
+	p = valid()
+	p.Triples[0].Obj = 9
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range triple endpoint accepted")
+	}
+	p = valid()
+	p.Triples[0].Pred = ""
+	if err := p.Validate(); err == nil {
+		t.Error("empty predicate accepted")
+	}
+	p = valid()
+	p.Nodes = append(p.Nodes, Node{Kind: ValueVar, Name: "unused"})
+	if err := p.Validate(); err == nil {
+		t.Error("unused node accepted")
+	}
+	p = valid()
+	p.Nodes[1].Name = ""
+	if err := p.Validate(); err == nil {
+		t.Error("unnamed value var accepted")
+	}
+	p = valid()
+	p.Nodes[1].Kind = NodeKind(99)
+	if err := p.Validate(); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	p = valid()
+	p.Triples = nil
+	if err := p.Validate(); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}
+
+func TestRadiusLongerChain(t *testing.T) {
+	k := MustParseOne(`
+key K for a {
+    x -p-> $b:b
+    $b:b -p-> $c:c
+    $c:c -p-> v*
+}`)
+	if got := k.Radius(); got != 3 {
+		t.Errorf("radius = %d, want 3", got)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		Designated: "designated", EntityVar: "entity-var", ValueVar: "value-var",
+		Wildcard: "wildcard", Const: "const", NodeKind(42): "NodeKind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestMultiKeyParseKeepsOrder(t *testing.T) {
+	ks, err := ParseString(PaperKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"}
+	for i, k := range ks {
+		if k.Name != want[i] {
+			t.Errorf("key %d = %s, want %s", i, k.Name, want[i])
+		}
+	}
+	if !strings.Contains(Format(ks[5]), `"UK"`) {
+		t.Error("Q6 constant lost in formatting")
+	}
+}

@@ -1,0 +1,196 @@
+// Package vertexcentric implements the asynchronous vertex-centric
+// execution model of GraphLab (ref [31] of "Keys for Graphs") that
+// algorithm EMVC (§5) runs on: a vertex program executed in parallel on
+// p workers, driven purely by asynchronous message passing, with no
+// global synchronization rounds and no global barriers. Computation
+// terminates when no message is in flight — quiescence.
+//
+// Vertices are dense integer IDs with worker affinity (vertex v is
+// processed by worker v mod p), which serializes the processing of any
+// single vertex's messages while letting different vertices proceed
+// fully asynchronously — the property EMVC exploits to check different
+// entity pairs, and different instantiations of one pair, in parallel.
+package vertexcentric
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one message delivered to a vertex. It may send
+// further messages through ctx. Handlers for the same vertex never run
+// concurrently; handlers for different vertices do.
+type Handler[M any] func(vertex int, msg M, ctx *Context[M])
+
+// Context lets a handler send messages and inspect the engine.
+type Context[M any] struct {
+	e      *Engine[M]
+	worker int
+}
+
+// Send delivers msg to the given vertex asynchronously.
+func (c *Context[M]) Send(vertex int, msg M) { c.e.send(vertex, msg) }
+
+// Engine is an asynchronous message-passing engine. Create with New,
+// seed with Send, then Run until quiescence. Run may be called again
+// after further Sends.
+type Engine[M any] struct {
+	p        int
+	handler  Handler[M]
+	inflight atomic.Int64
+	sent     atomic.Int64
+	boxes    []*mailbox[M]
+	done     chan struct{}
+	doneOnce sync.Once
+	running  bool
+}
+
+type envelope[M any] struct {
+	vertex int
+	msg    M
+}
+
+// mailbox is an unbounded FIFO queue; unboundedness matters because a
+// handler sends while it runs, and bounded queues would deadlock two
+// workers sending to each other's full queues.
+type mailbox[M any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope[M]
+	closed bool
+	// depth tracks the high-water mark for statistics.
+	depth int
+}
+
+func newMailbox[M any]() *mailbox[M] {
+	mb := &mailbox[M]{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox[M]) push(e envelope[M]) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, e)
+	if len(mb.queue) > mb.depth {
+		mb.depth = len(mb.queue)
+	}
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// pop blocks until an envelope is available or the box is closed.
+func (mb *mailbox[M]) pop() (envelope[M], bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return envelope[M]{}, false
+	}
+	e := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return e, true
+}
+
+func (mb *mailbox[M]) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox[M]) reopen() {
+	mb.mu.Lock()
+	mb.closed = false
+	mb.mu.Unlock()
+}
+
+// New creates an engine with p workers (clamped to >= 1).
+func New[M any](p int, handler Handler[M]) *Engine[M] {
+	if p < 1 {
+		p = 1
+	}
+	e := &Engine[M]{p: p, handler: handler}
+	e.boxes = make([]*mailbox[M], p)
+	for i := range e.boxes {
+		e.boxes[i] = newMailbox[M]()
+	}
+	return e
+}
+
+// P returns the worker count.
+func (e *Engine[M]) P() int { return e.p }
+
+// Send enqueues a message for a vertex; usable for seeding before Run
+// and from handlers (via Context) during Run.
+func (e *Engine[M]) Send(vertex int, msg M) { e.send(vertex, msg) }
+
+func (e *Engine[M]) send(vertex int, msg M) {
+	e.inflight.Add(1)
+	e.sent.Add(1)
+	w := vertex % e.p
+	if w < 0 {
+		w = -w
+	}
+	e.boxes[w].push(envelope[M]{vertex: vertex, msg: msg})
+}
+
+// Run processes messages until quiescence: every sent message handled
+// and no handler still running. It returns the number of messages
+// processed in this run.
+func (e *Engine[M]) Run() int64 {
+	if e.inflight.Load() == 0 {
+		return 0
+	}
+	e.done = make(chan struct{})
+	e.doneOnce = sync.Once{}
+	for _, b := range e.boxes {
+		b.reopen()
+	}
+	processed := new(atomic.Int64)
+	var wg sync.WaitGroup
+	for w := 0; w < e.p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := &Context[M]{e: e, worker: w}
+			for {
+				env, ok := e.boxes[w].pop()
+				if !ok {
+					return
+				}
+				e.handler(env.vertex, env.msg, ctx)
+				processed.Add(1)
+				if e.inflight.Add(-1) == 0 {
+					// Quiescent: no queued messages anywhere and no
+					// handler that could still send (we were the last).
+					e.doneOnce.Do(func() { close(e.done) })
+				}
+			}
+		}(w)
+	}
+	<-e.done
+	for _, b := range e.boxes {
+		b.close()
+	}
+	wg.Wait()
+	return processed.Load()
+}
+
+// MessagesSent returns the total number of messages sent over the
+// engine's lifetime.
+func (e *Engine[M]) MessagesSent() int64 { return e.sent.Load() }
+
+// MaxQueueDepth returns the deepest any worker mailbox ever got.
+func (e *Engine[M]) MaxQueueDepth() int {
+	max := 0
+	for _, b := range e.boxes {
+		b.mu.Lock()
+		if b.depth > max {
+			max = b.depth
+		}
+		b.mu.Unlock()
+	}
+	return max
+}

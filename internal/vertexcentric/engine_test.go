@@ -1,0 +1,146 @@
+package vertexcentric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPropagation floods a token along a chain of vertices; every
+// vertex must be visited exactly once.
+func TestPropagation(t *testing.T) {
+	const n = 100
+	visited := make([]atomic.Int32, n)
+	e := New[int](4, func(v int, hops int, ctx *Context[int]) {
+		visited[v].Add(1)
+		if v+1 < n {
+			ctx.Send(v+1, hops+1)
+		}
+	})
+	e.Send(0, 0)
+	processed := e.Run()
+	if processed != n {
+		t.Fatalf("processed = %d, want %d", processed, n)
+	}
+	for i := range visited {
+		if got := visited[i].Load(); got != 1 {
+			t.Fatalf("vertex %d visited %d times", i, got)
+		}
+	}
+	if e.MessagesSent() != n {
+		t.Errorf("MessagesSent = %d, want %d", e.MessagesSent(), n)
+	}
+}
+
+// TestFanOutQuiescence: exponential fan-out (each message forks two)
+// terminates exactly when the depth budget runs out.
+func TestFanOutQuiescence(t *testing.T) {
+	var count atomic.Int64
+	e := New[int](8, func(v int, depth int, ctx *Context[int]) {
+		count.Add(1)
+		if depth < 10 {
+			ctx.Send(v*2+1, depth+1)
+			ctx.Send(v*2+2, depth+1)
+		}
+	})
+	e.Send(0, 0)
+	e.Run()
+	want := int64(1<<11 - 1) // full binary tree of depth 10
+	if count.Load() != want {
+		t.Fatalf("handled %d messages, want %d", count.Load(), want)
+	}
+}
+
+// TestVertexSerialization: concurrent sends to one vertex are processed
+// serially (no data race on the per-vertex counter without a lock).
+func TestVertexSerialization(t *testing.T) {
+	perVertex := make(map[int]int) // only mutated by the vertex's handler
+	var mu sync.Mutex              // protects cross-checking map access
+	inHandler := make([]atomic.Int32, 16)
+	e := New[int](4, func(v int, _ int, ctx *Context[int]) {
+		if inHandler[v].Add(1) != 1 {
+			t.Error("two handlers ran concurrently for one vertex")
+		}
+		mu.Lock()
+		perVertex[v]++
+		mu.Unlock()
+		inHandler[v].Add(-1)
+	})
+	for i := 0; i < 400; i++ {
+		e.Send(i%16, i)
+	}
+	e.Run()
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, c := range perVertex {
+		total += c
+	}
+	if total != 400 {
+		t.Fatalf("processed %d, want 400", total)
+	}
+}
+
+// TestRunTwice: the engine supports re-seeding after quiescence, as the
+// EMVC driver's backstop sweep requires.
+func TestRunTwice(t *testing.T) {
+	var count atomic.Int64
+	e := New[int](2, func(v int, _ int, ctx *Context[int]) { count.Add(1) })
+	e.Send(1, 0)
+	if got := e.Run(); got != 1 {
+		t.Fatalf("first run processed %d", got)
+	}
+	e.Send(2, 0)
+	e.Send(3, 0)
+	if got := e.Run(); got != 2 {
+		t.Fatalf("second run processed %d", got)
+	}
+	if count.Load() != 3 {
+		t.Fatalf("total handled %d", count.Load())
+	}
+}
+
+// TestRunEmpty: running with no seeds returns immediately.
+func TestRunEmpty(t *testing.T) {
+	e := New[int](3, func(int, int, *Context[int]) {})
+	if got := e.Run(); got != 0 {
+		t.Fatalf("empty run processed %d", got)
+	}
+}
+
+// TestWorkerClamp: p < 1 is clamped.
+func TestWorkerClamp(t *testing.T) {
+	e := New[int](0, func(int, int, *Context[int]) {})
+	if e.P() != 1 {
+		t.Fatalf("P = %d, want 1", e.P())
+	}
+}
+
+// TestQueueDepthTracking: the high-water mark is recorded.
+func TestQueueDepthTracking(t *testing.T) {
+	e := New[int](1, func(v int, _ int, ctx *Context[int]) {})
+	for i := 0; i < 50; i++ {
+		e.Send(0, i)
+	}
+	e.Run()
+	if e.MaxQueueDepth() < 10 {
+		t.Errorf("MaxQueueDepth = %d, want >= 10 (all seeds queued up front)", e.MaxQueueDepth())
+	}
+}
+
+// TestPingPong: two vertices bouncing a message terminate at the hop
+// budget even though each handler sends from within the other's work.
+func TestPingPong(t *testing.T) {
+	var hops atomic.Int64
+	e := New[int](2, func(v int, n int, ctx *Context[int]) {
+		hops.Add(1)
+		if n > 0 {
+			ctx.Send(1-v, n-1)
+		}
+	})
+	e.Send(0, 99)
+	e.Run()
+	if hops.Load() != 100 {
+		t.Fatalf("hops = %d, want 100", hops.Load())
+	}
+}
