@@ -1,0 +1,3 @@
+module graphkeys
+
+go 1.24

@@ -24,11 +24,15 @@ import (
 
 // Step is one chase step Eq ⇒(e1,e2) Eq′: the pair identified, the key
 // that identified it, and the recursive-entity-variable prerequisites
-// that were in Eq at the time.
+// that were in Eq at the time. Uses records the graph triples the
+// witness match consumed on either side — the triple-level provenance
+// the incremental engine (internal/inc) invalidates identifications by
+// when triples are removed.
 type Step struct {
 	Pair     eqrel.Pair
 	Key      string
 	Requires []eqrel.Pair
+	Uses     []graph.Triple
 }
 
 // Result is the outcome of a terminal chasing sequence.
@@ -96,68 +100,57 @@ func Run(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
 				continue
 			}
 			e1, e2 := graph.NodeID(pr.A), graph.NodeID(pr.B)
-			ok, key, reqs, steps := identify(m, e1, e2, res.Eq, opts.UseVF2)
+			ok, key, reqs, uses, steps := identify(m, e1, e2, res.Eq, opts.UseVF2)
 			res.IsoSteps += steps
 			if !ok {
 				continue
 			}
 			res.Eq.Union(pr.A, pr.B)
-			res.Steps = append(res.Steps, Step{Pair: pr, Key: key, Requires: reqs})
+			res.Steps = append(res.Steps, Step{Pair: pr, Key: key, Requires: reqs, Uses: uses})
 			changed = true
 		}
 		if !changed {
 			break
 		}
 	}
-	res.Pairs = res.Eq.Pairs(keyedEntities(g, m))
+	res.Pairs = res.Eq.Pairs(m.KeyedEntities())
 	return res, nil
 }
 
 // identify runs one chase-step check with the configured checker,
-// returning the identifying key name and the witness prerequisites.
-func identify(m *match.Matcher, e1, e2 graph.NodeID, eq match.EqView, useVF2 bool) (ok bool, key string, reqs []eqrel.Pair, steps int) {
+// returning the identifying key name, the witness prerequisites, and
+// the triple provenance of the witness.
+func identify(m *match.Matcher, e1, e2 graph.NodeID, eq match.EqView, useVF2 bool) (ok bool, key string, reqs []eqrel.Pair, uses []graph.Triple, steps int) {
 	if useVF2 {
 		got, ck, s := m.IdentifiedVF2(e1, e2, eq)
 		if !got {
-			return false, "", nil, s
+			return false, "", nil, nil, s
 		}
 		// Re-derive the witness with the guided search for the proof
 		// graph; the extra cost is one successful check.
-		okW, raw, s2 := m.IdentifiedByKeyWitness(ck, e1, e2, m.Neighborhood(e1), m.Neighborhood(e2), eq)
+		okW, raw, used, s2 := m.IdentifiedByKeyProvenance(ck, e1, e2, m.Neighborhood(e1), m.Neighborhood(e2), eq)
 		if !okW {
 			// The two checkers must agree; treat disagreement as a bug.
 			panic(fmt.Sprintf("chase: VF2 identified (%d,%d) by %s but guided search did not", e1, e2, ck.Key.Name))
 		}
-		return true, ck.Key.Name, toPairs(raw), s + s2
+		return true, ck.Key.Name, toPairs(raw), used, s + s2
 	}
 	t := m.G.TypeOf(e1)
 	g1d, g2d := m.Neighborhood(e1), m.Neighborhood(e2)
 	for _, ck := range m.KeysFor(t) {
-		got, raw, s := m.IdentifiedByKeyWitness(ck, e1, e2, g1d, g2d, eq)
+		got, raw, used, s := m.IdentifiedByKeyProvenance(ck, e1, e2, g1d, g2d, eq)
 		steps += s
 		if got {
-			return true, ck.Key.Name, toPairs(raw), steps
+			return true, ck.Key.Name, toPairs(raw), used, steps
 		}
 	}
-	return false, "", nil, steps
+	return false, "", nil, nil, steps
 }
 
 func toPairs(raw [][2]graph.NodeID) []eqrel.Pair {
 	out := make([]eqrel.Pair, 0, len(raw))
 	for _, r := range raw {
 		out = append(out, eqrel.MakePair(int32(r[0]), int32(r[1])))
-	}
-	return out
-}
-
-// keyedEntities lists the entities whose types have keys: the universe
-// over which chase(G,Σ) pairs are reported.
-func keyedEntities(g *graph.Graph, m *match.Matcher) []int32 {
-	var out []int32
-	for _, t := range m.KeyedTypes() {
-		for _, e := range g.EntitiesOfType(t) {
-			out = append(out, int32(e))
-		}
 	}
 	return out
 }

@@ -73,6 +73,18 @@ func (eq *Eq) Union(a, b int32) bool {
 	return true
 }
 
+// Grow extends the relation to cover nodes [0, n), each new node in its
+// own class. Existing classes and representatives are untouched; Grow
+// with n <= Len is a no-op. It exists for incremental maintenance,
+// where the graph gains nodes after the relation was created.
+func (eq *Eq) Grow(n int) {
+	for len(eq.parent) < n {
+		eq.parent = append(eq.parent, int32(len(eq.parent)))
+		eq.rank = append(eq.rank, 0)
+		eq.classes++
+	}
+}
+
 // Version returns a counter that increases with every effective Union.
 func (eq *Eq) Version() int { return eq.version }
 

@@ -1,0 +1,207 @@
+package graph
+
+import "fmt"
+
+// This file implements batched graph mutations: a Delta is an ordered
+// list of add-entity, add-triple and remove-triple operations, applied
+// atomically by ApplyDelta. Deltas are the unit of change the
+// incremental entity-matching engine (internal/inc) maintains
+// chase(G, Σ) under.
+//
+// Operations reference entities by external ID and values by literal,
+// so a Delta can be built without a Graph in hand and applied to any
+// graph (or logged and replayed).
+
+// OpKind distinguishes delta operations.
+type OpKind uint8
+
+const (
+	// OpAddEntity ensures an entity exists (no-op if it already does
+	// with the same type).
+	OpAddEntity OpKind = iota
+	// OpAddTriple inserts a triple (no-op if it is already present).
+	OpAddTriple
+	// OpRemoveTriple deletes a triple (no-op if it is absent).
+	OpRemoveTriple
+)
+
+// DeltaOp is one operation of a Delta.
+type DeltaOp struct {
+	Kind OpKind
+
+	// OpAddEntity.
+	ID       string
+	TypeName string
+
+	// OpAddTriple / OpRemoveTriple. Object is an entity ID, or a value
+	// literal when ObjectIsValue is set.
+	Subject       string
+	Pred          string
+	Object        string
+	ObjectIsValue bool
+}
+
+// Delta is an ordered batch of mutations. The zero value is an empty
+// delta ready for use; the builder methods return the receiver for
+// chaining.
+type Delta struct {
+	ops []DeltaOp
+}
+
+// AddEntity appends an ensure-entity op.
+func (d *Delta) AddEntity(id, typeName string) *Delta {
+	d.ops = append(d.ops, DeltaOp{Kind: OpAddEntity, ID: id, TypeName: typeName})
+	return d
+}
+
+// AddTriple appends an add of (subject, pred, object) between entities.
+func (d *Delta) AddTriple(subject, pred, object string) *Delta {
+	d.ops = append(d.ops, DeltaOp{Kind: OpAddTriple, Subject: subject, Pred: pred, Object: object})
+	return d
+}
+
+// AddValueTriple appends an add of (subject, pred, literal).
+func (d *Delta) AddValueTriple(subject, pred, literal string) *Delta {
+	d.ops = append(d.ops, DeltaOp{Kind: OpAddTriple, Subject: subject, Pred: pred, Object: literal, ObjectIsValue: true})
+	return d
+}
+
+// RemoveTriple appends a removal of (subject, pred, object) between
+// entities.
+func (d *Delta) RemoveTriple(subject, pred, object string) *Delta {
+	d.ops = append(d.ops, DeltaOp{Kind: OpRemoveTriple, Subject: subject, Pred: pred, Object: object})
+	return d
+}
+
+// RemoveValueTriple appends a removal of (subject, pred, literal).
+func (d *Delta) RemoveValueTriple(subject, pred, literal string) *Delta {
+	d.ops = append(d.ops, DeltaOp{Kind: OpRemoveTriple, Subject: subject, Pred: pred, Object: literal, ObjectIsValue: true})
+	return d
+}
+
+// Len reports the number of operations.
+func (d *Delta) Len() int { return len(d.ops) }
+
+// Ops returns the operations in application order. The slice is owned
+// by the delta.
+func (d *Delta) Ops() []DeltaOp { return d.ops }
+
+// DeltaResult reports the effective changes of an applied delta:
+// operations that were no-ops (duplicate adds, removals of absent
+// triples, re-adds of existing entities) do not appear.
+type DeltaResult struct {
+	// AddedEntities lists entity nodes created by the delta.
+	AddedEntities []NodeID
+	// AddedTriples lists triples actually inserted.
+	AddedTriples []Triple
+	// RemovedTriples lists triples actually deleted.
+	RemovedTriples []Triple
+}
+
+// Empty reports whether the delta changed nothing.
+func (r *DeltaResult) Empty() bool {
+	return len(r.AddedEntities) == 0 && len(r.AddedTriples) == 0 && len(r.RemovedTriples) == 0
+}
+
+// ApplyDelta applies the delta atomically: it first validates every
+// operation in order (simulating entity creation, so a triple may
+// reference an entity added earlier in the same delta) and only then
+// mutates the graph. On error the graph is unchanged.
+//
+// Semantics are sequential and idempotent at the op level: adding an
+// existing triple or entity is a no-op, as is removing an absent
+// triple; only entity type conflicts and references to unknown
+// entities are errors.
+func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
+	if err := g.validateDelta(d); err != nil {
+		return nil, err
+	}
+	res := &DeltaResult{}
+	for i, op := range d.ops {
+		switch op.Kind {
+		case OpAddEntity:
+			if _, exists := g.entByID[op.ID]; !exists {
+				n, err := g.AddEntity(op.ID, op.TypeName)
+				if err != nil {
+					return nil, fmt.Errorf("graph: delta op %d: %v", i, err)
+				}
+				res.AddedEntities = append(res.AddedEntities, n)
+			}
+		case OpAddTriple, OpRemoveTriple:
+			s := g.entByID[op.Subject]
+			var o NodeID
+			if op.ObjectIsValue {
+				if op.Kind == OpRemoveTriple {
+					// Do not intern a value just to fail to remove it.
+					v, ok := g.valByLit[op.Object]
+					if !ok {
+						continue
+					}
+					o = v
+				} else {
+					o = g.AddValue(op.Object)
+				}
+			} else {
+				o = g.entByID[op.Object]
+			}
+			p := PredID(g.preds.Intern(op.Pred))
+			if op.Kind == OpAddTriple {
+				if g.HasTriple(s, p, o) {
+					continue
+				}
+				if err := g.AddTriple(s, op.Pred, o); err != nil {
+					return nil, fmt.Errorf("graph: delta op %d: %v", i, err)
+				}
+				res.AddedTriples = append(res.AddedTriples, Triple{S: s, P: p, O: o})
+			} else if g.RemoveTripleID(s, p, o) {
+				res.RemovedTriples = append(res.RemovedTriples, Triple{S: s, P: p, O: o})
+			}
+		default:
+			return nil, fmt.Errorf("graph: delta op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return res, nil
+}
+
+// validateDelta checks every op without mutating the graph. Interning
+// predicates for removals is deferred to application; validation only
+// needs entity-level checks, which is what makes atomicity possible.
+func (g *Graph) validateDelta(d *Delta) error {
+	pending := make(map[string]string) // entity IDs added earlier in this delta -> type
+	entityKnown := func(id string) bool {
+		if _, ok := g.entByID[id]; ok {
+			return true
+		}
+		_, ok := pending[id]
+		return ok
+	}
+	for i, op := range d.ops {
+		switch op.Kind {
+		case OpAddEntity:
+			if n, ok := g.entByID[op.ID]; ok {
+				if have := g.types.Name(int32(g.nodes[n].typ)); have != op.TypeName {
+					return fmt.Errorf("graph: delta op %d: entity %q redeclared with type %q (was %q)",
+						i, op.ID, op.TypeName, have)
+				}
+			} else if have, ok := pending[op.ID]; ok && have != op.TypeName {
+				return fmt.Errorf("graph: delta op %d: entity %q redeclared with type %q (was %q)",
+					i, op.ID, op.TypeName, have)
+			} else {
+				pending[op.ID] = op.TypeName
+			}
+		case OpAddTriple, OpRemoveTriple:
+			if !entityKnown(op.Subject) {
+				return fmt.Errorf("graph: delta op %d: unknown subject entity %q", i, op.Subject)
+			}
+			if !op.ObjectIsValue && !entityKnown(op.Object) {
+				return fmt.Errorf("graph: delta op %d: unknown object entity %q", i, op.Object)
+			}
+			if op.Pred == "" {
+				return fmt.Errorf("graph: delta op %d: empty predicate", i)
+			}
+		default:
+			return fmt.Errorf("graph: delta op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}

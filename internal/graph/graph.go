@@ -9,7 +9,9 @@
 //
 // Graphs are built incrementally with AddEntity/AddValue/AddTriple and are
 // safe for concurrent readers once building has finished; no method
-// mutates a graph after construction except the Add* builders.
+// mutates a graph after construction except the Add* builders,
+// RemoveTriple, and ApplyDelta (see delta.go). Mutation is not safe
+// concurrently with readers.
 package graph
 
 import "fmt"
@@ -55,6 +57,15 @@ type tripleKey struct {
 	s NodeID
 	p PredID
 	o NodeID
+}
+
+// Triple is one stored triple (s, p, o), exported for provenance
+// tracking and delta reporting. It is comparable and usable as a map
+// key.
+type Triple struct {
+	S NodeID
+	P PredID
+	O NodeID
 }
 
 // Graph is an in-memory triple store. The zero value is not usable; call
@@ -170,6 +181,42 @@ func (g *Graph) AddTriple(s NodeID, pred string, o NodeID) error {
 	return nil
 }
 
+// RemoveTriple deletes the triple (s, p, o) if present and reports
+// whether it was. Nodes are never removed: an entity or value left
+// without edges stays in the graph (and keeps its dense NodeID).
+func (g *Graph) RemoveTriple(s NodeID, pred string, o NodeID) bool {
+	pid, ok := g.preds.Lookup(pred)
+	if !ok {
+		return false
+	}
+	return g.RemoveTripleID(s, PredID(pid), o)
+}
+
+// RemoveTripleID is RemoveTriple with the predicate already resolved.
+func (g *Graph) RemoveTripleID(s NodeID, p PredID, o NodeID) bool {
+	k := tripleKey{s, p, o}
+	if _, ok := g.triples[k]; !ok {
+		return false
+	}
+	delete(g.triples, k)
+	g.out[s] = removeEdge(g.out[s], Edge{Pred: p, To: o})
+	g.in[o] = removeEdge(g.in[o], Edge{Pred: p, To: s})
+	g.nTrip--
+	return true
+}
+
+// removeEdge deletes the first occurrence of e, preserving the order of
+// the remaining edges (so mutation does not perturb deterministic
+// iteration order elsewhere).
+func removeEdge(edges []Edge, e Edge) []Edge {
+	for i, cur := range edges {
+		if cur == e {
+			return append(edges[:i], edges[i+1:]...)
+		}
+	}
+	return edges
+}
+
 // MustAddTriple is AddTriple that panics on error.
 func (g *Graph) MustAddTriple(s NodeID, pred string, o NodeID) {
 	if err := g.AddTriple(s, pred, o); err != nil {
@@ -281,4 +328,13 @@ func (g *Graph) EachTriple(fn func(s NodeID, p PredID, o NodeID)) {
 			fn(NodeID(s), e.Pred, e.To)
 		}
 	}
+}
+
+// Triples materializes every triple of G, in unspecified order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.nTrip)
+	g.EachTriple(func(s NodeID, p PredID, o NodeID) {
+		out = append(out, Triple{S: s, P: p, O: o})
+	})
+	return out
 }

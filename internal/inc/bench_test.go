@@ -1,0 +1,121 @@
+package inc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"graphkeys/internal/chase"
+	"graphkeys/internal/gen"
+	"graphkeys/internal/graph"
+)
+
+// benchWorkload builds a synthetic graph big enough that the full
+// re-chase cost (quadratic candidate sweeps) dominates, plus a cycle of
+// small deltas each touching at most deltaFrac of the triples.
+func benchWorkload(tb testing.TB, deltaFrac float64) (*gen.Workload, []*graph.Delta) {
+	tb.Helper()
+	cfg := gen.DefaultSynthetic()
+	cfg.TypeGroups = 3
+	cfg.EntitiesPerType = 80
+	w, err := gen.Synthetic(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Deltas: remove a random small batch, then re-add it, repeatedly —
+	// the steady-state small-delta workload of a mutating store.
+	rng := rand.New(rand.NewSource(42))
+	batch := int(float64(w.Graph.NumTriples()) * deltaFrac)
+	if batch < 1 {
+		batch = 1
+	}
+	trs := w.Graph.Triples()
+	var deltas []*graph.Delta
+	for cycle := 0; cycle < 4; cycle++ {
+		recs := make([]tripleRec, 0, batch)
+		for i := 0; i < batch; i++ {
+			recs = append(recs, recordTriple(w.Graph, trs[rng.Intn(len(trs))]))
+		}
+		rem, add := &graph.Delta{}, &graph.Delta{}
+		for _, r := range recs {
+			r.removeOp(rem)
+			r.addOp(add)
+		}
+		deltas = append(deltas, rem, add)
+	}
+	return w, deltas
+}
+
+// BenchmarkIncrementalApply measures maintaining the fixpoint through
+// small deltas (≤1% of triples each).
+func BenchmarkIncrementalApply(b *testing.B) {
+	w, deltas := benchWorkload(b, 0.01)
+	e, err := New(w.Graph, w.Keys, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Apply(deltas[i%len(deltas)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRechase measures the from-scratch alternative: after
+// each delta, recompute chase(G, Σ) with the sequential engine.
+func BenchmarkFullRechase(b *testing.B) {
+	w, deltas := benchWorkload(b, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Graph.ApplyDelta(deltas[i%len(deltas)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chase.Run(w.Graph, w.Keys, chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestIncrementalSpeedup is the acceptance check behind the benchmarks:
+// on a small-delta workload (1% of triples per delta), incremental
+// maintenance must beat full re-chase by at least 5x. The measured
+// margin is far larger (two orders of magnitude); 5x keeps the test
+// robust on noisy CI machines.
+func TestIncrementalSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	w, deltas := benchWorkload(t, 0.01)
+	e, err := New(w.Graph, w.Keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleave: for each delta, time Apply, then time the full
+	// re-chase on the identical mutated graph (also verifying results).
+	var incTime, fullTime time.Duration
+	for _, d := range deltas {
+		start := time.Now()
+		if _, _, err := e.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		incTime += time.Since(start)
+
+		start = time.Now()
+		res, err := chase.Run(w.Graph, w.Keys, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullTime += time.Since(start)
+		if !pairsEqual(e.Pairs(), res.Pairs) {
+			t.Fatal("incremental and full re-chase disagree")
+		}
+	}
+	speedup := float64(fullTime) / float64(incTime)
+	t.Logf("full re-chase %v, incremental %v: %.1fx speedup over %d deltas (|G| = %d, batch = 1%%)",
+		fullTime, incTime, speedup, len(deltas), w.Graph.NumTriples())
+	if speedup < 5 {
+		t.Fatalf("incremental maintenance only %.1fx faster than full re-chase, want >= 5x", speedup)
+	}
+}

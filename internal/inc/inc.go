@@ -1,0 +1,555 @@
+// Package inc maintains chase(G, Σ) incrementally under graph
+// mutations: instead of re-running the chase fixpoint of §3.1 from
+// scratch after every change, an Engine keeps the equivalence relation
+// Eq, the chasing sequence that produced it, and the triple-level
+// provenance of every chase step, and repairs the fixpoint from a
+// Delta of added/removed triples and added entities.
+//
+// The two directions exploit two structural properties of keys:
+//
+//   - Monotonicity: key satisfaction has no negation, so adding
+//     triples can only create identifications and removing triples can
+//     only destroy them. Additions therefore only require re-chasing
+//     candidate pairs whose d-neighborhood gained a triple; removals
+//     only require re-certifying identifications whose proofs touch a
+//     removed triple.
+//
+//   - Locality (§4.1): a witness for (e1, e2) lies within the
+//     d-neighborhoods of e1 and e2, so the candidate pairs affected by
+//     a change are found by a d-hop scan around the changed triples —
+//     the same neighborhood machinery the engines use, reused here
+//     with d the key set's maximum radius.
+//
+// Removal repair is provenance-driven in the sense of the proof graphs
+// behind Theorem 2: every chase step records the graph triples its
+// witness consumed (chase.Step.Uses); removing a triple directly
+// invalidates exactly the steps using it, invalidation cascades along
+// the Requires edges of the proof DAG by replaying the surviving
+// steps, and the affected pairs are then re-certified against the
+// mutated graph, where they may be re-derived through other witnesses.
+// Recursive keys propagate repair beyond the changed region: whenever
+// re-certification merges two Eq classes, the pairs that may newly
+// fire are the same-type pairs within d hops of the merged classes
+// (the dependency relation of §4.2), which the worklist expands to.
+package inc
+
+import (
+	"graphkeys/internal/chase"
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+	"graphkeys/internal/match"
+	"graphkeys/internal/pattern"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Match is passed through to the matching machinery (ValueEq,
+	// workers for the initial full chase).
+	Match match.Options
+}
+
+// Stats reports the work done by the most recent Apply, for
+// experiments and tests asserting that repair stays local.
+type Stats struct {
+	// Suspects is the number of chase steps invalidated by removals
+	// (directly or by cascade along Requires).
+	Suspects int
+	// Region is the number of entities in the affected region of the
+	// delta's additions.
+	Region int
+	// Checked is the number of candidate-pair checks run.
+	Checked int
+	// Identified is the number of chase steps (re-)derived.
+	Identified int
+}
+
+// Engine maintains chase(G, Σ) under mutations of G. It owns the
+// graph's mutation lifecycle: after New, mutate the graph only through
+// Apply. An Engine is not safe for concurrent use.
+type Engine struct {
+	g    *graph.Graph
+	set  *keys.Set
+	opts Options
+
+	m     *match.Matcher // lazy matcher over the current graph
+	eq    *eqrel.Eq
+	steps []chase.Step
+	pairs []eqrel.Pair
+
+	maxRadius int
+	recTypes  map[graph.TypeID]bool           // types with at least one recursive key
+	depN      map[graph.NodeID]*graph.NodeSet // per-Apply memo of maxRadius-hop neighborhoods
+
+	stats Stats
+}
+
+// New computes the initial fixpoint with the sequential chase and
+// returns an engine maintaining it.
+func New(g *graph.Graph, set *keys.Set, opts Options) (*Engine, error) {
+	res, err := chase.Run(g, set, chase.Options{Match: opts.Match})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:     g,
+		set:   set,
+		opts:  opts,
+		eq:    res.Eq,
+		steps: res.Steps,
+		pairs: res.Pairs,
+	}
+	if err := e.rebuildMatcher(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Graph returns the maintained graph. Mutate it only through Apply.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Eq returns the current fixpoint relation. It is owned by the engine.
+func (e *Engine) Eq() *eqrel.Eq { return e.eq }
+
+// Pairs returns the current chase(G, Σ), sorted. The slice is owned by
+// the engine.
+func (e *Engine) Pairs() []eqrel.Pair { return e.pairs }
+
+// Steps returns the current valid chasing sequence, in dependency
+// order. The slice is owned by the engine.
+func (e *Engine) Steps() []chase.Step { return e.steps }
+
+// LastStats reports the work done by the most recent Apply.
+func (e *Engine) LastStats() Stats { return e.stats }
+
+// rebuildMatcher compiles the key set against the current graph in
+// lazy mode. It is cheap — O(‖Σ‖) — and runs once per Apply so that
+// new predicates, types and constants resolve and no stale cached
+// neighborhood survives a mutation.
+func (e *Engine) rebuildMatcher() error {
+	mopts := e.opts.Match
+	mopts.Lazy = true
+	mopts.Workers = 0
+	m, err := match.New(e.g, e.set, mopts)
+	if err != nil {
+		return err
+	}
+	e.m = m
+	e.maxRadius = e.set.MaxRadius()
+	e.recTypes = make(map[graph.TypeID]bool)
+	for _, typeName := range e.set.Types() {
+		for _, k := range e.set.ForType(typeName) {
+			if k.Recursive {
+				if tid, ok := e.g.TypeByName(typeName); ok {
+					e.recTypes[tid] = true
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Apply mutates the graph by the delta and repairs the fixpoint. It
+// returns the identified pairs that appeared and disappeared,
+// materialized over keyed entities and sorted. The delta is applied
+// atomically: on error neither the graph nor the fixpoint changes.
+func (e *Engine) Apply(d *graph.Delta) (added, removed []eqrel.Pair, err error) {
+	res, err := e.g.ApplyDelta(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.stats = Stats{}
+	if res.Empty() {
+		return nil, nil, nil
+	}
+	if err := e.rebuildMatcher(); err != nil {
+		return nil, nil, err
+	}
+	e.depN = make(map[graph.NodeID]*graph.NodeSet)
+
+	// Removals: invalidate steps whose witness used a removed triple,
+	// cascade along Requires by replaying the survivors, and collect
+	// suspects for re-certification. A dropped step taints its whole
+	// OLD equivalence class, not just its own pair: a pair inside a
+	// splitting class may have been skipped as already-Same by the
+	// original chase (so no step records its independent witness), and
+	// only re-checking every pair of the affected class can recover it.
+	var suspects []eqrel.Pair
+	if len(res.RemovedTriples) > 0 {
+		removedSet := make(map[graph.Triple]bool, len(res.RemovedTriples))
+		for _, tr := range res.RemovedTriples {
+			removedSet[tr] = true
+		}
+		oldEq := e.eq
+		oldMembers := e.classMembers()
+		taintedRoots := make(map[int32]bool)
+		eq := eqrel.New(e.g.NumNodes())
+		kept := make([]chase.Step, 0, len(e.steps))
+		dropped := 0
+		for _, st := range e.steps {
+			if stepUsesAny(st, removedSet) || !requiresHold(eq, st.Requires) {
+				taintedRoots[oldEq.Find(st.Pair.A)] = true
+				dropped++
+				continue
+			}
+			eq.Union(st.Pair.A, st.Pair.B)
+			kept = append(kept, st)
+		}
+		e.eq = eq
+		e.steps = kept
+		for r := range taintedRoots {
+			mem := oldMembers[r]
+			for i := 0; i < len(mem); i++ {
+				for j := i + 1; j < len(mem); j++ {
+					suspects = append(suspects, eqrel.MakePair(mem[i], mem[j]))
+				}
+			}
+		}
+		e.stats.Suspects = dropped
+	} else {
+		e.eq.Grow(e.g.NumNodes())
+	}
+
+	// Additions: the affected region is every keyed entity within
+	// maxRadius hops of a changed triple endpoint or new entity; any
+	// newly identifiable pair has such an entity on at least one side,
+	// so seeding (p, q) for affected p and every same-type q is
+	// complete (up to the worklist expansion below).
+	work := newWorklist()
+	for _, pr := range suspects {
+		work.push(pr)
+	}
+	if len(res.AddedTriples) > 0 || len(res.AddedEntities) > 0 {
+		region := e.affectedEntities(res)
+		e.stats.Region = len(region)
+		for _, p := range region {
+			for _, q := range e.partnersFor(p) {
+				work.push(eqrel.MakePair(int32(p), int32(q)))
+			}
+		}
+	}
+
+	e.chaseWorklist(work)
+
+	newPairs := e.eq.Pairs(e.m.KeyedEntities())
+	added, removed = diffPairs(e.pairs, newPairs)
+	e.pairs = newPairs
+	return added, removed, nil
+}
+
+func stepUsesAny(st chase.Step, removed map[graph.Triple]bool) bool {
+	for _, tr := range st.Uses {
+		if removed[tr] {
+			return true
+		}
+	}
+	return false
+}
+
+func requiresHold(eq *eqrel.Eq, reqs []eqrel.Pair) bool {
+	for _, r := range reqs {
+		if !eq.Same(r.A, r.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// affectedEntities collects the keyed entities whose d-neighborhood
+// gained a triple: those within maxRadius hops of any added-triple
+// endpoint, plus added entities of keyed types.
+func (e *Engine) affectedEntities(res *graph.DeltaResult) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	collect := func(n graph.NodeID) {
+		if seen[n] || !e.keyed(n) {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	var endpoints []graph.NodeID
+	for _, tr := range res.AddedTriples {
+		endpoints = append(endpoints, tr.S, tr.O)
+	}
+	endpoints = append(endpoints, res.AddedEntities...)
+	for _, x := range endpoints {
+		e.depNeighborhood(x).Each(collect)
+	}
+	return out
+}
+
+// partnersFor returns the candidate partners of an affected entity p.
+// When every key on p's type carries a value anchor (a value variable
+// or constant) and value equality is exact, a witness at (p, q) must
+// bind that anchor to a single shared value node — equal literals are
+// interned to one node — lying within the radius of both sides. The
+// partners are then exactly the same-type entities within maxRadius
+// hops of a value node within maxRadius hops of p, instead of every
+// same-type entity. Otherwise (custom ValueEq, or a purely
+// entity-variable key) it falls back to all same-type entities.
+func (e *Engine) partnersFor(p graph.NodeID) []graph.NodeID {
+	t := e.g.TypeOf(p)
+	all := e.g.EntitiesOfType(t)
+	anchored := e.opts.Match.ValueEq == nil
+	if anchored {
+		for _, ck := range e.m.KeysFor(t) {
+			if !keyHasValueAnchor(ck) {
+				anchored = false
+				break
+			}
+		}
+	}
+	if !anchored {
+		out := make([]graph.NodeID, 0, len(all))
+		for _, q := range all {
+			if q != p {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	e.depNeighborhood(p).Each(func(n graph.NodeID) {
+		if !e.g.IsValue(n) {
+			return
+		}
+		e.depNeighborhood(n).Each(func(q graph.NodeID) {
+			if q == p || seen[q] || !e.g.IsEntity(q) || e.g.TypeOf(q) != t {
+				return
+			}
+			seen[q] = true
+			out = append(out, q)
+		})
+	})
+	return out
+}
+
+// keyHasValueAnchor reports whether the key's pattern contains a value
+// variable or constant node.
+func keyHasValueAnchor(ck *match.CompiledKey) bool {
+	for i := 0; i < ck.PatternNodeCount(); i++ {
+		kind, _, _ := ck.NodeInfo(i)
+		if kind == pattern.ValueVar || kind == pattern.Const {
+			return true
+		}
+	}
+	return false
+}
+
+// keyed reports whether n is an entity whose type has keys.
+func (e *Engine) keyed(n graph.NodeID) bool {
+	return e.g.IsEntity(n) && len(e.m.KeysFor(e.g.TypeOf(n))) > 0
+}
+
+// depNeighborhood memoizes maxRadius-hop neighborhoods for the current
+// Apply (the graph does not change during repair).
+func (e *Engine) depNeighborhood(n graph.NodeID) *graph.NodeSet {
+	if ns, ok := e.depN[n]; ok {
+		return ns
+	}
+	ns := e.g.Neighborhood(n, e.maxRadius)
+	e.depN[n] = ns
+	return ns
+}
+
+// chaseWorklist re-runs chase steps over the worklist until the
+// fixpoint: each identification expands the worklist with the pairs
+// that depend on the merged classes through recursive keys, so repair
+// follows dependency chains arbitrarily far from the mutation without
+// ever sweeping the full candidate set.
+func (e *Engine) chaseWorklist(w *worklist) {
+	members := e.classMembers()
+	for i := 0; i < len(w.queue); i++ {
+		pr := w.queue[i]
+		delete(w.inQ, pr)
+		if e.eq.Same(pr.A, pr.B) {
+			continue
+		}
+		ok, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B))
+		e.stats.Checked++
+		if !ok {
+			continue
+		}
+		// Dependent pairs are computed from the classes as they are
+		// about to merge: any pair that may newly fire needs an entity
+		// variable binding (u', v') with u' and v' in the two classes,
+		// hence lies within maxRadius of their members.
+		ra, rb := e.eq.Find(pr.A), e.eq.Find(pr.B)
+		mem1 := withSelf(members[ra], pr.A)
+		mem2 := withSelf(members[rb], pr.B)
+		dep := e.dependentPairs(mem1, mem2)
+
+		e.eq.Union(pr.A, pr.B)
+		e.steps = append(e.steps, chase.Step{Pair: pr, Key: key, Requires: reqs, Uses: uses})
+		e.stats.Identified++
+		nr := e.eq.Find(pr.A)
+		members[nr] = append(mem1, mem2...)
+		if ra != nr {
+			delete(members, ra)
+		}
+		if rb != nr {
+			delete(members, rb)
+		}
+		for _, dp := range dep {
+			if !e.eq.Same(dp.A, dp.B) {
+				w.push(dp)
+			}
+		}
+	}
+}
+
+// identify mirrors the sequential chase's per-pair check using the
+// lazy matcher: first identifying key wins. The Eq-independent quick
+// pairing filter (§4.2) runs first so that the d-neighborhoods — the
+// expensive part on the incremental path — are only computed for pairs
+// that pass the x-local necessary condition.
+func (e *Engine) identify(e1, e2 graph.NodeID) (ok bool, key string, reqs []eqrel.Pair, uses []graph.Triple) {
+	t := e.g.TypeOf(e1)
+	if e.g.TypeOf(e2) != t {
+		return false, "", nil, nil
+	}
+	var g1d, g2d *graph.NodeSet
+	for _, ck := range e.m.KeysFor(t) {
+		if !e.m.QuickPaired(ck, e1, e2) {
+			continue
+		}
+		if g1d == nil {
+			g1d, g2d = e.m.Neighborhood(e1), e.m.Neighborhood(e2)
+		}
+		got, raw, used, _ := e.m.IdentifiedByKeyProvenance(ck, e1, e2, g1d, g2d, e.eq)
+		if got {
+			reqs = make([]eqrel.Pair, 0, len(raw))
+			for _, r := range raw {
+				reqs = append(reqs, eqrel.MakePair(int32(r[0]), int32(r[1])))
+			}
+			return true, ck.Key.Name, reqs, used
+		}
+	}
+	return false, "", nil, nil
+}
+
+// classMembers builds root -> keyed-member lists from the current
+// steps. Every member of a non-trivial class appears in some step's
+// pair, so the step log is a complete member index.
+func (e *Engine) classMembers() map[int32][]int32 {
+	members := make(map[int32][]int32)
+	seen := make(map[int32]bool)
+	add := func(n int32) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		r := e.eq.Find(n)
+		members[r] = append(members[r], n)
+	}
+	for _, st := range e.steps {
+		add(st.Pair.A)
+		add(st.Pair.B)
+	}
+	return members
+}
+
+func withSelf(members []int32, self int32) []int32 {
+	for _, m := range members {
+		if m == self {
+			return members
+		}
+	}
+	return append(members, self)
+}
+
+// dependentPairs returns the candidate pairs that may newly fire when
+// the classes with the given members merge: same-type pairs of
+// entities with a recursive key within maxRadius hops of the members.
+func (e *Engine) dependentPairs(mem1, mem2 []int32) []eqrel.Pair {
+	collectNear := func(members []int32) map[graph.TypeID][]graph.NodeID {
+		byType := make(map[graph.TypeID][]graph.NodeID)
+		seen := make(map[graph.NodeID]bool)
+		for _, x := range members {
+			e.depNeighborhood(graph.NodeID(x)).Each(func(n graph.NodeID) {
+				if seen[n] || !e.g.IsEntity(n) {
+					return
+				}
+				seen[n] = true
+				t := e.g.TypeOf(n)
+				if e.recTypes[t] {
+					byType[t] = append(byType[t], n)
+				}
+			})
+		}
+		return byType
+	}
+	near1 := collectNear(mem1)
+	near2 := collectNear(mem2)
+	dedup := make(map[eqrel.Pair]bool)
+	var out []eqrel.Pair
+	for t, ps := range near1 {
+		qs, ok := near2[t]
+		if !ok {
+			continue
+		}
+		for _, p := range ps {
+			for _, q := range qs {
+				if p == q {
+					continue
+				}
+				pr := eqrel.MakePair(int32(p), int32(q))
+				if !dedup[pr] {
+					dedup[pr] = true
+					out = append(out, pr)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// diffPairs diffs two sorted pair lists.
+func diffPairs(old, cur []eqrel.Pair) (added, removed []eqrel.Pair) {
+	less := func(a, b eqrel.Pair) bool {
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	}
+	i, j := 0, 0
+	for i < len(old) && j < len(cur) {
+		switch {
+		case old[i] == cur[j]:
+			i++
+			j++
+		case less(old[i], cur[j]):
+			removed = append(removed, old[i])
+			i++
+		default:
+			added = append(added, cur[j])
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, cur[j:]...)
+	return added, removed
+}
+
+// worklist is a FIFO of candidate pairs with membership dedup; a pair
+// may be re-enqueued after it has been processed (when a later union
+// makes it newly checkable) but is never queued twice concurrently.
+type worklist struct {
+	queue []eqrel.Pair
+	inQ   map[eqrel.Pair]bool
+}
+
+func newWorklist() *worklist {
+	return &worklist{inQ: make(map[eqrel.Pair]bool)}
+}
+
+func (w *worklist) push(p eqrel.Pair) {
+	if w.inQ[p] {
+		return
+	}
+	w.inQ[p] = true
+	w.queue = append(w.queue, p)
+}

@@ -73,18 +73,17 @@ func (m *Matcher) IdentifiedByKey(ck *CompiledKey, e1, e2 graph.NodeID, g1d, g2d
 	return ok, st.steps
 }
 
-// IdentifiedByKeyWitness is IdentifiedByKey but also returns, on
-// success, the pairs bound to the recursive entity variables of the key
-// — the prerequisites that had to be in Eq for this identification.
-// Pairs that are reflexive (same entity on both sides) are omitted.
-func (m *Matcher) IdentifiedByKeyWitness(ck *CompiledKey, e1, e2 graph.NodeID, g1d, g2d *graph.NodeSet, eq EqView) (ok bool, requires [][2]graph.NodeID, steps int) {
+// witnessSearch runs the guided search for ck on (e1, e2) and returns
+// the search state with slots still bound on success. It is the shared
+// core of the witness- and provenance-harvesting checkers.
+func (m *Matcher) witnessSearch(ck *CompiledKey, e1, e2 graph.NodeID, g1d, g2d *graph.NodeSet, eq EqView) (st *evalState, ok bool) {
 	if !ck.matchable || m.G.TypeOf(e1) != m.G.TypeOf(e2) || m.G.TypeOf(e1) != ck.nodes[ck.x].typ {
-		return false, nil, 0
+		return nil, false
 	}
 	if !g1d.Contains(e1) || !g2d.Contains(e2) {
-		return false, nil, 0
+		return nil, false
 	}
-	st := &evalState{
+	st = &evalState{
 		m: m, ck: ck, g1d: g1d, g2d: g2d, eq: eq,
 		slots: make([]pairSlot, len(ck.nodes)),
 	}
@@ -93,16 +92,20 @@ func (m *Matcher) IdentifiedByKeyWitness(ck *CompiledKey, e1, e2 graph.NodeID, g
 		t := ck.triples[ti]
 		if t.subj == ck.x && t.obj == ck.x {
 			if !m.G.HasTriple(e1, t.pred, e1) || !m.G.HasTriple(e2, t.pred, e2) {
-				return false, nil, 0
+				return st, false
 			}
 		}
 	}
-	if !st.search(1) {
-		return false, nil, st.steps
-	}
-	// On success the slots stay bound; harvest the entity-variable pairs.
-	for q, n := range ck.nodes {
-		if q == ck.x || n.kind != kEntityVar {
+	return st, st.search(1)
+}
+
+// harvestRequires reads the pairs bound to the recursive entity
+// variables off a successful search — the prerequisites that had to be
+// in Eq for this identification. Reflexive pairs (same entity on both
+// sides) are omitted.
+func (st *evalState) harvestRequires() (requires [][2]graph.NodeID) {
+	for q, n := range st.ck.nodes {
+		if q == st.ck.x || n.kind != kEntityVar {
 			continue
 		}
 		s := st.slots[q]
@@ -110,7 +113,61 @@ func (m *Matcher) IdentifiedByKeyWitness(ck *CompiledKey, e1, e2 graph.NodeID, g
 			requires = append(requires, [2]graph.NodeID{s.a, s.b})
 		}
 	}
-	return true, requires, st.steps
+	return requires
+}
+
+// harvestUses reads the graph triples the witness match used, on both
+// sides, off a successful search: for every pattern triple (u, p, v)
+// the instantiated triples (m(u).a, p, m(v).a) and (m(u).b, p, m(v).b).
+// Duplicates (the two sides may share triples) are removed.
+func (st *evalState) harvestUses() []graph.Triple {
+	seen := make(map[graph.Triple]bool, 2*len(st.ck.triples))
+	uses := make([]graph.Triple, 0, 2*len(st.ck.triples))
+	for _, t := range st.ck.triples {
+		s, o := st.slots[t.subj], st.slots[t.obj]
+		for _, tr := range [2]graph.Triple{
+			{S: s.a, P: t.pred, O: o.a},
+			{S: s.b, P: t.pred, O: o.b},
+		} {
+			if !seen[tr] {
+				seen[tr] = true
+				uses = append(uses, tr)
+			}
+		}
+	}
+	return uses
+}
+
+// IdentifiedByKeyWitness is IdentifiedByKey but also returns, on
+// success, the pairs bound to the recursive entity variables of the key
+// — the prerequisites that had to be in Eq for this identification.
+// Pairs that are reflexive (same entity on both sides) are omitted.
+func (m *Matcher) IdentifiedByKeyWitness(ck *CompiledKey, e1, e2 graph.NodeID, g1d, g2d *graph.NodeSet, eq EqView) (ok bool, requires [][2]graph.NodeID, steps int) {
+	st, ok := m.witnessSearch(ck, e1, e2, g1d, g2d, eq)
+	if st == nil {
+		return false, nil, 0
+	}
+	if !ok {
+		return false, nil, st.steps
+	}
+	return true, st.harvestRequires(), st.steps
+}
+
+// IdentifiedByKeyProvenance is IdentifiedByKeyWitness extended with
+// triple provenance: on success it additionally returns the graph
+// triples the witness match used on either side. The incremental
+// engine indexes chase steps by these triples so that removing a
+// triple invalidates exactly the identifications whose proofs depend
+// on it.
+func (m *Matcher) IdentifiedByKeyProvenance(ck *CompiledKey, e1, e2 graph.NodeID, g1d, g2d *graph.NodeSet, eq EqView) (ok bool, requires [][2]graph.NodeID, uses []graph.Triple, steps int) {
+	st, ok := m.witnessSearch(ck, e1, e2, g1d, g2d, eq)
+	if st == nil {
+		return false, nil, nil, 0
+	}
+	if !ok {
+		return false, nil, nil, st.steps
+	}
+	return true, st.harvestRequires(), st.harvestUses(), st.steps
 }
 
 // Identified checks whether any key defined on the type of (e1, e2)

@@ -43,6 +43,12 @@ type Options struct {
 	// this many goroutines (the paper's DriverMR constructs d-neighbors
 	// as a MapReduce job, §4.1). Values below 2 mean sequential.
 	Workers int
+	// Lazy skips the up-front d-neighbor precomputation; Neighborhood
+	// then computes and caches per entity on demand. A lazy matcher is
+	// NOT safe for concurrent use. The incremental engine uses lazy
+	// matchers because it only ever inspects a small affected region of
+	// the graph per delta.
+	Lazy bool
 }
 
 func (o Options) valueEq(a, b string) bool {
@@ -267,6 +273,9 @@ func New(g *graph.Graph, set *keys.Set, opts Options) (*Matcher, error) {
 		}
 		m.dByType[tid] = set.MaxRadiusForType(typeName)
 	}
+	if opts.Lazy {
+		return m, nil
+	}
 	// Precompute d-neighbors for every keyed entity, in parallel when
 	// asked: the neighborhoods are read-only afterwards.
 	type job struct {
@@ -344,12 +353,38 @@ func (m *Matcher) KeyedTypes() []graph.TypeID {
 // Neighborhood returns the cached d-neighbor of e, where d is the
 // maximum radius of the keys on e's type. It returns nil (= the whole
 // graph) if e's type has no keys; callers only ask for keyed entities.
+// On a lazy matcher the neighborhood is computed and cached on first
+// request.
 func (m *Matcher) Neighborhood(e graph.NodeID) *graph.NodeSet {
-	return m.neighborhoods[e]
+	if ns, ok := m.neighborhoods[e]; ok {
+		return ns
+	}
+	if !m.Opts.Lazy || !m.G.IsEntity(e) {
+		return nil
+	}
+	d, ok := m.dByType[m.G.TypeOf(e)]
+	if !ok {
+		return nil
+	}
+	ns := m.G.Neighborhood(e, d)
+	m.neighborhoods[e] = ns
+	return ns
 }
 
 // RadiusFor returns the d-neighbor bound for type t.
 func (m *Matcher) RadiusFor(t graph.TypeID) int { return m.dByType[t] }
+
+// KeyedEntities lists the entities whose types have keys — the
+// universe over which chase(G, Σ) pairs are reported.
+func (m *Matcher) KeyedEntities() []int32 {
+	var out []int32
+	for _, t := range m.KeyedTypes() {
+		for _, e := range m.G.EntitiesOfType(t) {
+			out = append(out, int32(e))
+		}
+	}
+	return out
+}
 
 // The accessors below expose the compiled pattern structure to the
 // vertex-centric engine (package emvc), which drives its own message

@@ -1,0 +1,59 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the key DSL parser. The parser
+// ingests untrusted input (key files on the command line), so it must
+// never panic — it either returns keys or an error. For inputs that do
+// parse, the printed form must parse back to the same number of keys
+// (Format/Parse round trip), since Format output is what emdiscover
+// and the generators feed back into Parse.
+func FuzzParse(f *testing.F) {
+	f.Add(`key Q1 for album {
+    x -name_of-> name*
+    x -recorded_by-> $y:artist
+}`)
+	f.Add(`key Q4 for company {
+    x -name_of-> name*
+    _:company -name_of-> name*
+    _:company -parent_of-> x
+    $c:company -parent_of-> x
+}`)
+	f.Add(`key Q6 for street {
+    x -zip_code-> code*
+    x -nation_of-> "UK"
+}`)
+	f.Add("key A for t {\n    x -p-> _w:t2\n    _w:t2 -q-> v*\n}")
+	f.Add("# comment only\n")
+	f.Add("key broken for t {")
+	f.Add("key a for t {\n}\n")
+	f.Add("key a for t {\n    x -p-> \"unterminated\n}")
+	f.Add("key a for t {\n    x p x\n}")
+	f.Add("key \x00 for \xff {\n    x -p-> y*\n}")
+	// Regression: the arrow at offset 0 after the subject used to make
+	// the predicate slice invert and panic.
+	f.Add("key 0 for 0 {\nx ->")
+	f.Add(strings.Repeat("key a for t {\n    x -p-> v*\n}\n", 3))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		keys, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		for _, k := range keys {
+			// Parsed keys are validated; a valid pattern must format and
+			// re-parse.
+			printed := Format(k)
+			again, err := ParseString(printed)
+			if err != nil {
+				t.Fatalf("parsed key %q does not re-parse from its own Format output:\n%s\nerror: %v", k.Name, printed, err)
+			}
+			if len(again) != 1 {
+				t.Fatalf("Format output of key %q re-parsed into %d keys", k.Name, len(again))
+			}
+		}
+	})
+}

@@ -139,10 +139,13 @@ func (kb *keyBuilder) addEdgeLine(line string) error {
 	if !strings.HasPrefix(rest, "-") {
 		return fmt.Errorf("want `-pred->` after subject in %q", line)
 	}
-	arrowEnd := strings.Index(rest, "->")
+	// Search after the leading '-': for input like `x ->` the arrow
+	// found at index 0 would otherwise make the predicate slice invert.
+	arrowEnd := strings.Index(rest[1:], "->")
 	if arrowEnd < 0 {
 		return fmt.Errorf("unterminated predicate arrow in %q", line)
 	}
+	arrowEnd++
 	pred := rest[1:arrowEnd]
 	if pred == "" {
 		return fmt.Errorf("empty predicate in %q", line)

@@ -1,0 +1,157 @@
+package graphkeys
+
+import (
+	"fmt"
+
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/inc"
+	"graphkeys/internal/match"
+)
+
+// This file is the public surface of the incremental entity-matching
+// subsystem (internal/inc): a stateful Matcher that keeps chase(G, Σ)
+// up to date while the graph mutates, instead of recomputing the
+// fixpoint from scratch per change the way Match does.
+
+// Delta is a batch of graph mutations to be applied through a Matcher:
+// entity additions plus triple additions and removals, in order.
+// The zero value is an empty batch; builder methods chain.
+type Delta struct {
+	d graph.Delta
+}
+
+// NewDelta returns an empty delta.
+func NewDelta() *Delta { return &Delta{} }
+
+// AddEntity ensures an entity with the given ID and type exists.
+func (d *Delta) AddEntity(id EntityID, typeName string) *Delta {
+	d.d.AddEntity(id, typeName)
+	return d
+}
+
+// AddEntityTriple inserts (subject, predicate, object) between two
+// entities. Both must exist or be added earlier in the same delta.
+func (d *Delta) AddEntityTriple(subject EntityID, predicate string, object EntityID) *Delta {
+	d.d.AddTriple(subject, predicate, object)
+	return d
+}
+
+// AddValueTriple inserts (subject, predicate, value) with a literal
+// object.
+func (d *Delta) AddValueTriple(subject EntityID, predicate string, value string) *Delta {
+	d.d.AddValueTriple(subject, predicate, value)
+	return d
+}
+
+// RemoveEntityTriple deletes (subject, predicate, object) between two
+// entities; absent triples are ignored.
+func (d *Delta) RemoveEntityTriple(subject EntityID, predicate string, object EntityID) *Delta {
+	d.d.RemoveTriple(subject, predicate, object)
+	return d
+}
+
+// RemoveValueTriple deletes (subject, predicate, value); absent
+// triples are ignored.
+func (d *Delta) RemoveValueTriple(subject EntityID, predicate string, value string) *Delta {
+	d.d.RemoveValueTriple(subject, predicate, value)
+	return d
+}
+
+// Len reports the number of operations in the delta.
+func (d *Delta) Len() int { return d.d.Len() }
+
+// Matcher maintains chase(G, Σ) incrementally: it computes the full
+// fixpoint once at construction and then repairs it per Delta, using
+// the proof graphs of the chase as provenance (removals invalidate
+// only identifications whose proofs touch a removed triple) and d-hop
+// locality (additions re-chase only the affected region).
+//
+// After NewMatcher the graph must be mutated only through Apply.
+// A Matcher is not safe for concurrent use.
+type Matcher struct {
+	g   *Graph
+	eng *inc.Engine
+}
+
+// NewMatcher computes chase(G, Σ) with the sequential chase and
+// returns a Matcher maintaining it. Options.Engine is ignored: the
+// incremental result always equals the sequential chase (and hence,
+// by Church–Rosser, every engine).
+func NewMatcher(g *Graph, ks *KeySet, opts Options) (*Matcher, error) {
+	if g == nil || ks == nil {
+		return nil, fmt.Errorf("graphkeys: NewMatcher requires a graph and a key set")
+	}
+	eng, err := inc.New(g.g, ks.set, inc.Options{Match: match.Options{ValueEq: opts.ValueEq, Workers: opts.Workers}})
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher{g: g, eng: eng}, nil
+}
+
+// Apply mutates the graph by the delta and repairs the fixpoint,
+// returning the matches that appeared and disappeared. The delta is
+// applied atomically: on error neither the graph nor the match state
+// changes.
+func (m *Matcher) Apply(d *Delta) (added, removed []Pair, err error) {
+	if d == nil {
+		return nil, nil, nil
+	}
+	addedPairs, removedPairs, err := m.eng.Apply(&d.d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.toMatches(addedPairs), m.toMatches(removedPairs), nil
+}
+
+// Result materializes the current chase(G, Σ) as a Result, identical
+// to what Match would return on the current graph.
+func (m *Matcher) Result() *Result {
+	return buildResult(m.g, m.eng.Pairs(), Chase)
+}
+
+// Same reports whether the two entities are currently identified.
+// Unknown entities are never identified with anything.
+func (m *Matcher) Same(a, b EntityID) bool {
+	na, ok := m.g.g.Entity(a)
+	if !ok {
+		return false
+	}
+	nb, ok := m.g.g.Entity(b)
+	if !ok {
+		return false
+	}
+	if na == nb {
+		return true
+	}
+	return m.eng.Eq().Same(int32(na), int32(nb))
+}
+
+// Graph returns the maintained graph. Mutate it only through Apply.
+func (m *Matcher) Graph() *Graph { return m.g }
+
+// Stats reports the repair work done by the most recent Apply.
+type Stats = inc.Stats
+
+// LastStats reports the repair work done by the most recent Apply.
+func (m *Matcher) LastStats() Stats { return m.eng.LastStats() }
+
+func (m *Matcher) toMatches(pairs []eqrel.Pair) []Pair {
+	out := make([]Pair, 0, len(pairs))
+	for _, pr := range pairs {
+		out = append(out, Pair{
+			A: m.g.g.Label(graph.NodeID(pr.A)),
+			B: m.g.g.Label(graph.NodeID(pr.B)),
+		})
+	}
+	return out
+}
+
+// EachTriple calls fn for every triple of the graph: object is an
+// entity ID or, when objectIsValue, a literal. It exists so callers
+// (e.g. replay drivers) can construct deltas from the stored triples.
+func (g *Graph) EachTriple(fn func(subject EntityID, predicate, object string, objectIsValue bool)) {
+	g.g.EachTriple(func(s graph.NodeID, p graph.PredID, o graph.NodeID) {
+		fn(g.g.Label(s), g.g.PredName(p), g.g.Label(o), g.g.IsValue(o))
+	})
+}

@@ -1,0 +1,209 @@
+package graphkeys_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"graphkeys"
+)
+
+func musicGraph(t *testing.T) *graphkeys.Graph {
+	t.Helper()
+	g := graphkeys.NewGraph()
+	for id, typ := range map[string]string{
+		"alb1": "album", "alb2": "album", "alb3": "album",
+		"art1": "artist", "art2": "artist", "art3": "artist",
+	} {
+		if err := g.AddEntity(id, typ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range [][3]string{
+		{"alb1", "name_of", "Anthology 2"},
+		{"alb2", "name_of", "Anthology 2"},
+		{"alb3", "name_of", "Anthology 2"},
+		{"alb1", "release_year", "1996"},
+		{"alb2", "release_year", "1996"},
+		{"art1", "name_of", "The Beatles"},
+		{"art2", "name_of", "The Beatles"},
+		{"art3", "name_of", "John Farnham"},
+	} {
+		if err := g.AddValueTriple(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range [][3]string{
+		{"alb1", "recorded_by", "art1"},
+		{"alb2", "recorded_by", "art2"},
+		{"alb3", "recorded_by", "art3"},
+	} {
+		if err := g.AddEntityTriple(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func musicKeys(t *testing.T) *graphkeys.KeySet {
+	t.Helper()
+	ks, err := graphkeys.ParseKeys(`
+key Q1 for album {
+    x -name_of-> name*
+    x -recorded_by-> $y:artist
+}
+key Q2 for album {
+    x -name_of-> name*
+    x -release_year-> year*
+}
+key Q3 for artist {
+    x -name_of-> name*
+    $a:album -recorded_by-> x
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func TestMatcherApply(t *testing.T) {
+	g := musicGraph(t)
+	ks := musicKeys(t)
+	m, err := graphkeys.NewMatcher(g, ks, graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Same("alb1", "alb2") || !m.Same("art1", "art2") {
+		t.Fatal("initial fixpoint missing expected identifications")
+	}
+	if m.Same("alb1", "alb3") {
+		t.Fatal("alb3 wrongly identified")
+	}
+
+	// Removing alb2's release year cascades: the album pair falls to
+	// Q2, the artist pair to Q3 which required it.
+	added, removed, err := m.Apply(graphkeys.NewDelta().
+		RemoveValueTriple("alb2", "release_year", "1996"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 0 || len(removed) != 2 {
+		t.Fatalf("added=%v removed=%v, want 0 added and 2 removed", added, removed)
+	}
+	if m.Same("alb1", "alb2") || m.Same("art1", "art2") {
+		t.Fatal("identifications survived losing their proofs")
+	}
+
+	// Re-adding restores both; the Matcher result must equal Match from
+	// scratch on the same graph.
+	added, _, err = m.Apply(graphkeys.NewDelta().
+		AddValueTriple("alb2", "release_year", "1996"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 2 {
+		t.Fatalf("added=%v, want both pairs back", added)
+	}
+	full, err := graphkeys.Match(g, ks, graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Result().Matches, full.Matches) {
+		t.Fatalf("Matcher.Result() = %v, Match = %v", m.Result().Matches, full.Matches)
+	}
+	if !reflect.DeepEqual(m.Result().Classes, full.Classes) {
+		t.Fatalf("Matcher classes %v != Match classes %v", m.Result().Classes, full.Classes)
+	}
+}
+
+func TestMatcherApplyNewEntities(t *testing.T) {
+	g := musicGraph(t)
+	m, err := graphkeys.NewMatcher(g, musicKeys(t), graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, removed, err := m.Apply(graphkeys.NewDelta().
+		AddEntity("alb4", "album").
+		AddEntity("art4", "artist").
+		AddValueTriple("alb4", "name_of", "Anthology 2").
+		AddValueTriple("alb4", "release_year", "1996").
+		AddEntityTriple("alb4", "recorded_by", "art4").
+		AddValueTriple("art4", "name_of", "The Beatles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("removed=%v, want none", removed)
+	}
+	if !m.Same("alb4", "alb1") || !m.Same("art4", "art2") {
+		t.Fatal("new entities not identified with their duplicates")
+	}
+	if len(added) != 4 {
+		t.Fatalf("added=%v, want 4 new pairs", added)
+	}
+	// The atomicity contract: a bad delta changes nothing.
+	before := g.NumTriples()
+	if _, _, err := m.Apply(graphkeys.NewDelta().
+		AddValueTriple("ghost", "name_of", "x")); err == nil {
+		t.Fatal("delta with unknown subject did not error")
+	}
+	if g.NumTriples() != before {
+		t.Fatal("failed delta mutated the graph")
+	}
+}
+
+// TestMatcherAgainstMatchRandomized is the public-API differential
+// test: random remove/re-add churn over the music graph, checking the
+// Matcher against Match after every delta.
+func TestMatcherAgainstMatchRandomized(t *testing.T) {
+	g := musicGraph(t)
+	ks := musicKeys(t)
+	m, err := graphkeys.NewMatcher(g, ks, graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		s, p, o string
+		isVal   bool
+	}
+	rng := rand.New(rand.NewSource(11))
+	var pool []rec
+	for round := 0; round < 40; round++ {
+		d := graphkeys.NewDelta()
+		if round%2 == 0 {
+			var all []rec
+			g.EachTriple(func(s, p, o string, isVal bool) {
+				all = append(all, rec{s, p, o, isVal})
+			})
+			r := all[rng.Intn(len(all))]
+			pool = append(pool, r)
+			if r.isVal {
+				d.RemoveValueTriple(r.s, r.p, r.o)
+			} else {
+				d.RemoveEntityTriple(r.s, r.p, r.o)
+			}
+		} else {
+			if len(pool) == 0 {
+				continue
+			}
+			i := rng.Intn(len(pool))
+			r := pool[i]
+			pool = append(pool[:i], pool[i+1:]...)
+			if r.isVal {
+				d.AddValueTriple(r.s, r.p, r.o)
+			} else {
+				d.AddEntityTriple(r.s, r.p, r.o)
+			}
+		}
+		if _, _, err := m.Apply(d); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		full, err := graphkeys.Match(g, ks, graphkeys.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m.Result().Matches, full.Matches) {
+			t.Fatalf("round %d: Matcher %v != Match %v", round, m.Result().Matches, full.Matches)
+		}
+	}
+}
