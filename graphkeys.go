@@ -237,6 +237,13 @@ type Options struct {
 	// ValueEq optionally replaces exact value equality with a
 	// similarity predicate (paper §2.2 Remark (1)).
 	ValueEq func(a, b string) bool
+	// FullCandidateSweep disables value-indexed candidate generation
+	// and forces the engines to enumerate the full O(n²) per-type
+	// candidate sweep. Results are identical either way; the flag
+	// exists for measurement and differential testing. Types whose
+	// keys lack value anchors, and matchers with a custom ValueEq,
+	// always use the full sweep regardless.
+	FullCandidateSweep bool
 }
 
 func (o Options) workers() int {
@@ -275,7 +282,7 @@ func Match(g *Graph, ks *KeySet, opts Options) (*Result, error) {
 	var pairs []eqrel.Pair
 	switch opts.Engine {
 	case Chase:
-		res, err := chase.Run(g.g, ks.set, chase.Options{Match: mo})
+		res, err := chase.Run(g.g, ks.set, chase.Options{Match: mo, FullSweep: opts.FullCandidateSweep})
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +294,7 @@ func Match(g *Graph, ks *KeySet, opts Options) (*Result, error) {
 		} else if opts.Engine == MapReduceOpt {
 			variant = emmr.Opt
 		}
-		res, err := emmr.Run(g.g, ks.set, emmr.Config{P: opts.workers(), Variant: variant, Match: mo})
+		res, err := emmr.Run(g.g, ks.set, emmr.Config{P: opts.workers(), Variant: variant, Match: mo, FullSweep: opts.FullCandidateSweep})
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +304,7 @@ func Match(g *Graph, ks *KeySet, opts Options) (*Result, error) {
 		if opts.Engine == VertexCentricOpt {
 			variant = emvc.Opt
 		}
-		res, err := emvc.Run(g.g, ks.set, emvc.Config{P: opts.workers(), Variant: variant, K: opts.BoundK, Match: mo})
+		res, err := emvc.Run(g.g, ks.set, emvc.Config{P: opts.workers(), Variant: variant, K: opts.BoundK, Match: mo, FullSweep: opts.FullCandidateSweep})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"testing"
+
+	"graphkeys/internal/chase"
+	"graphkeys/internal/gen"
+	"graphkeys/internal/match"
+)
+
+// candidatesWorkload builds the 1k+ entities-per-type workload the
+// value-index acceptance benchmarks run on: one keyed type per chain
+// level, radius d, so the full sweep materializes C(1200, 2) ≈ 719k
+// pairs per type while the planted duplicates and shared values bound
+// the indexed join.
+func candidatesWorkload(tb testing.TB, radius int) *gen.Workload {
+	tb.Helper()
+	cfg := gen.DefaultSynthetic()
+	cfg.TypeGroups = 1
+	cfg.Chain = 0
+	cfg.Radius = radius
+	cfg.EntitiesPerType = 1200
+	w, err := gen.Synthetic(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkCandidates compares candidate-set construction: the full
+// O(n²) per-type sweep versus the value-indexed join, at radius 1
+// (pure posting-list join) and radius 2 (neighborhood value buckets).
+func BenchmarkCandidates(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		radius int
+		full   bool
+	}{
+		{"sweep/d1", 1, true},
+		{"indexed/d1", 1, false},
+		{"sweep/d2", 2, true},
+		{"indexed/d2", 2, false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w := candidatesWorkload(b, bc.radius)
+			m, err := match.New(w.Graph, w.Keys, match.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var n int
+			for i := 0; i < b.N; i++ {
+				if bc.full {
+					n = len(m.Candidates())
+				} else {
+					n = len(m.CandidatesIndexed())
+				}
+			}
+			b.ReportMetric(float64(n), "candidates")
+		})
+	}
+}
+
+// BenchmarkChaseCandidates measures the end-to-end effect: the full
+// sequential chase over the 1200-entity workload with and without
+// value-indexed candidate generation.
+func BenchmarkChaseCandidates(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		full bool
+	}{
+		{"sweep", true},
+		{"indexed", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w := candidatesWorkload(b, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.Run(w.Graph, w.Keys, chase.Options{FullSweep: bc.full})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Pairs) != len(w.Expected) {
+					b.Fatalf("chase found %d pairs, want %d", len(res.Pairs), len(w.Expected))
+				}
+			}
+		})
+	}
+}

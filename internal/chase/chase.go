@@ -69,6 +69,11 @@ type Options struct {
 	// UsePairing filters the candidate set by the pairing necessary
 	// condition before chasing; results must be identical.
 	UsePairing bool
+	// FullSweep disables value-indexed candidate generation and
+	// enumerates the full C(n, 2) per-type candidate sweep; results
+	// must be identical. It exists for measurement and differential
+	// testing.
+	FullSweep bool
 }
 
 // Run computes chase(G, Σ). It sweeps the candidate set until a sweep
@@ -80,10 +85,13 @@ func Run(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
 		return nil, err
 	}
 	var cands []eqrel.Pair
-	if opts.UsePairing {
-		cands = m.CandidatesPaired()
-	} else {
+	if opts.FullSweep {
 		cands = m.Candidates()
+	} else {
+		cands = m.CandidatesIndexed()
+	}
+	if opts.UsePairing {
+		cands = m.FilterPaired(cands)
 	}
 	if opts.Order != nil {
 		cands = append([]eqrel.Pair(nil), cands...)
@@ -172,7 +180,7 @@ func Violations(g *graph.Graph, set *keys.Set, opts match.Options) ([]Violation,
 	}
 	var out []Violation
 	id := match.Identity()
-	for _, pr := range m.Candidates() {
+	for _, pr := range m.CandidatesIndexed() {
 		e1, e2 := graph.NodeID(pr.A), graph.NodeID(pr.B)
 		t := m.G.TypeOf(e1)
 		for _, ck := range m.KeysFor(t) {

@@ -84,6 +84,8 @@ type Graph struct {
 
 	triples map[tripleKey]struct{}
 	nTrip   int
+
+	valIndex valueIndex
 }
 
 // New returns an empty graph.
@@ -94,6 +96,7 @@ func New() *Graph {
 		entByID:  make(map[string]NodeID),
 		valByLit: make(map[string]NodeID),
 		triples:  make(map[tripleKey]struct{}),
+		valIndex: newValueIndex(),
 	}
 }
 
@@ -177,6 +180,7 @@ func (g *Graph) AddTriple(s NodeID, pred string, o NodeID) error {
 	g.triples[k] = struct{}{}
 	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
 	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
+	g.valIndex.add(p, o, s, g.nodes[o].kind)
 	g.nTrip++
 	return nil
 }
@@ -199,22 +203,29 @@ func (g *Graph) RemoveTripleID(s NodeID, p PredID, o NodeID) bool {
 		return false
 	}
 	delete(g.triples, k)
-	g.out[s] = removeEdge(g.out[s], Edge{Pred: p, To: o})
-	g.in[o] = removeEdge(g.in[o], Edge{Pred: p, To: s})
+	g.out[s] = removeOne(g.out[s], Edge{Pred: p, To: o})
+	g.in[o] = removeOne(g.in[o], Edge{Pred: p, To: s})
+	g.valIndex.remove(p, o, s, g.nodes[o].kind)
 	g.nTrip--
 	return true
 }
 
-// removeEdge deletes the first occurrence of e, preserving the order of
-// the remaining edges (so mutation does not perturb deterministic
-// iteration order elsewhere).
-func removeEdge(edges []Edge, e Edge) []Edge {
-	for i, cur := range edges {
-		if cur == e {
-			return append(edges[:i], edges[i+1:]...)
+// removeOne returns the slice without the first occurrence of x,
+// preserving the order of the remaining elements (so removal does not
+// perturb deterministic iteration order elsewhere). It copies instead
+// of compacting in place: graph-owned slices previously handed out by
+// Out/In/ValueSubjects keep their pre-removal contents, so a caller
+// iterating one across a RemoveTriple never sees shifted or duplicated
+// elements.
+func removeOne[T comparable](xs []T, x T) []T {
+	for i, cur := range xs {
+		if cur == x {
+			out := make([]T, 0, len(xs)-1)
+			out = append(out, xs[:i]...)
+			return append(out, xs[i+1:]...)
 		}
 	}
-	return edges
+	return xs
 }
 
 // MustAddTriple is AddTriple that panics on error.
@@ -291,11 +302,15 @@ func (g *Graph) EntitiesOfType(t TypeID) []NodeID {
 }
 
 // Out returns the out-edges of n: for each stored triple (n, p, o) an
-// Edge{p, o}. The slice is owned by the graph.
+// Edge{p, o}. The slice is owned by the graph and must not be modified;
+// it is never mutated in place, so a slice obtained before a
+// RemoveTriple keeps its pre-removal contents.
 func (g *Graph) Out(n NodeID) []Edge { return g.out[n] }
 
 // In returns the in-edges of n: for each stored triple (s, p, n) an
-// Edge{p, s}. The slice is owned by the graph.
+// Edge{p, s}. The slice is owned by the graph and must not be modified;
+// it is never mutated in place, so a slice obtained before a
+// RemoveTriple keeps its pre-removal contents.
 func (g *Graph) In(n NodeID) []Edge { return g.in[n] }
 
 // HasTriple reports whether the triple (s, p, o) is in G.

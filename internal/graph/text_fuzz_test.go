@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText feeds arbitrary text to the graph parser. The parser
+// ingests untrusted input (graph files on the command line), so it
+// must never panic — it either returns a graph or an error. Inputs
+// that parse must survive a Write/Parse round trip: the written form
+// parses back to a graph with the same triples, and re-writing that
+// graph reproduces the written form byte for byte (WriteText output is
+// canonical: sorted and deterministic).
+func FuzzParseText(f *testing.F) {
+	f.Add("alb1:album\tname_of\t\"Anthology 2\"\n" +
+		"alb1:album\trecorded_by\tart1:artist\n")
+	f.Add("# comment\n\n  a:T \t p \t b:U \n")
+	f.Add("a:T\tp\t\"quoted \\\"literal\\\" with \\t escapes\"\n")
+	f.Add("id:with:colons:T\tp\t\"v\"\n")
+	f.Add("a:T\tp\n")             // 2 fields
+	f.Add("a:T\tp\tb:U\textra\n") // 4 fields
+	f.Add("noType\tp\t\"v\"\n")   // bad entity token
+	f.Add(":T\tp\t\"v\"\n")       // empty id
+	f.Add("a:\tp\t\"v\"\n")       // empty type
+	f.Add("a:T\t\t\"v\"\n")       // empty predicate
+	f.Add("a:T\tp\t\"unterminated\n")
+	f.Add("a:T\tp\ta:U\n")          // entity redeclared with another type
+	f.Add("a:T\tp\t\"\"\n")         // empty literal
+	f.Add("\"q:T\tp\t\"v\"\n")      // quote-prefixed subject id
+	f.Add("a b:T\tp c\tb d:U\n")    // interior spaces
+	f.Add("a:T\tp\t\"\x00\xff\"\n") // non-UTF8 escape attempt
+	f.Add(strings.Repeat("e:T\tp\t\"v\"\n", 4))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var w1 bytes.Buffer
+		if err := g.WriteText(&w1); err != nil {
+			t.Fatalf("WriteText on parsed graph: %v", err)
+		}
+		g2, err := ParseText(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("written form does not re-parse:\n%s\nerror: %v", w1.String(), err)
+		}
+		if g2.NumTriples() != g.NumTriples() || g2.NumEntities() != g.NumEntities() || g2.NumNodes() != g.NumNodes() {
+			t.Fatalf("round trip changed shape: triples %d->%d, entities %d->%d, nodes %d->%d",
+				g.NumTriples(), g2.NumTriples(), g.NumEntities(), g2.NumEntities(), g.NumNodes(), g2.NumNodes())
+		}
+		var w2 bytes.Buffer
+		if err := g2.WriteText(&w2); err != nil {
+			t.Fatalf("WriteText on re-parsed graph: %v", err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("canonical form not stable:\nfirst:\n%s\nsecond:\n%s", w1.String(), w2.String())
+		}
+		// The value index must come out of parsing consistent: one
+		// posting entry per value triple.
+		n := 0
+		g.EachValuePosting(func(p PredID, v NodeID, subjects []NodeID) { n += len(subjects) })
+		vals := 0
+		g.EachTriple(func(s NodeID, p PredID, o NodeID) {
+			if g.IsValue(o) {
+				vals++
+			}
+		})
+		if n != vals {
+			t.Fatalf("value index has %d entries, graph has %d value triples", n, vals)
+		}
+	})
+}

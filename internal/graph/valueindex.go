@@ -1,0 +1,79 @@
+package graph
+
+// This file implements the persistent inverted value index: for every
+// (predicate, value node) pair, the posting list of subject entities s
+// with a triple (s, p, v) in G. Because equal literals are interned to
+// one value node (§2.1 value equality), two entities carry the same
+// (p, "lit") attribute iff they appear in the same posting list — the
+// join that lets candidate generation (match.CandidatesIndexed, the
+// incremental engine's partner lookup) find same-value entity pairs
+// without enumerating the quadratic per-type product.
+//
+// The index is maintained incrementally inside AddTriple and
+// RemoveTripleID (and therefore under ApplyDelta, which mutates
+// through them); it is never rebuilt. Posting lists are append-only
+// per slice: removal copies (see removeOne), so a list handed out by
+// ValueSubjects stays valid across later mutations.
+
+// postKey identifies one posting list: a predicate plus the value node
+// it points at.
+type postKey struct {
+	p PredID
+	v NodeID
+}
+
+// valueIndex maps (predicate, value node) to the subjects carrying
+// that attribute, in insertion order.
+type valueIndex struct {
+	post map[postKey][]NodeID
+}
+
+func newValueIndex() valueIndex {
+	return valueIndex{post: make(map[postKey][]NodeID)}
+}
+
+// add records (s, p, v) if v is a value node. The caller (AddTriple)
+// has already deduplicated the triple, so s appears at most once per
+// posting list.
+func (ix *valueIndex) add(p PredID, v, s NodeID, kind Kind) {
+	if kind != ValueKind {
+		return
+	}
+	k := postKey{p, v}
+	ix.post[k] = append(ix.post[k], s)
+}
+
+// remove erases (s, p, v) from the index if v is a value node.
+func (ix *valueIndex) remove(p PredID, v, s NodeID, kind Kind) {
+	if kind != ValueKind {
+		return
+	}
+	k := postKey{p, v}
+	ps := removeOne(ix.post[k], s)
+	if len(ps) == 0 {
+		delete(ix.post, k)
+	} else {
+		ix.post[k] = ps
+	}
+}
+
+// ValueSubjects returns the posting list for (p, v): every subject
+// entity s with the triple (s, p, v), where v is a value node, in
+// insertion order. The slice is owned by the graph and must not be
+// modified; it is never mutated in place, so a list obtained before a
+// RemoveTriple keeps its pre-removal contents.
+func (g *Graph) ValueSubjects(p PredID, v NodeID) []NodeID {
+	return g.valIndex.post[postKey{p, v}]
+}
+
+// EachValuePosting calls fn once per non-empty posting list, in
+// unspecified order. The subjects slice is owned by the graph.
+func (g *Graph) EachValuePosting(fn func(p PredID, v NodeID, subjects []NodeID)) {
+	for k, ps := range g.valIndex.post {
+		fn(k.p, k.v, ps)
+	}
+}
+
+// NumPostings reports the number of non-empty posting lists — the
+// number of distinct (predicate, value) attributes in G.
+func (g *Graph) NumPostings() int { return len(g.valIndex.post) }

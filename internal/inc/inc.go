@@ -39,7 +39,6 @@ import (
 	"graphkeys/internal/graph"
 	"graphkeys/internal/keys"
 	"graphkeys/internal/match"
-	"graphkeys/internal/pattern"
 )
 
 // Options configures an Engine.
@@ -214,8 +213,10 @@ func (e *Engine) Apply(d *graph.Delta) (added, removed []eqrel.Pair, err error) 
 	// Additions: the affected region is every keyed entity within
 	// maxRadius hops of a changed triple endpoint or new entity; any
 	// newly identifiable pair has such an entity on at least one side,
-	// so seeding (p, q) for affected p and every same-type q is
-	// complete (up to the worklist expansion below).
+	// so seeding (p, q) for affected p and every candidate partner q
+	// (match.ValuePartners: inverted-value-index lookups on indexable
+	// types, all same-type entities otherwise) is complete (up to the
+	// worklist expansion below).
 	work := newWorklist()
 	for _, pr := range suspects {
 		work.push(pr)
@@ -224,7 +225,7 @@ func (e *Engine) Apply(d *graph.Delta) (added, removed []eqrel.Pair, err error) 
 		region := e.affectedEntities(res)
 		e.stats.Region = len(region)
 		for _, p := range region {
-			for _, q := range e.partnersFor(p) {
+			for _, q := range e.m.ValuePartners(p) {
 				work.push(eqrel.MakePair(int32(p), int32(q)))
 			}
 		}
@@ -278,65 +279,6 @@ func (e *Engine) affectedEntities(res *graph.DeltaResult) []graph.NodeID {
 		e.depNeighborhood(x).Each(collect)
 	}
 	return out
-}
-
-// partnersFor returns the candidate partners of an affected entity p.
-// When every key on p's type carries a value anchor (a value variable
-// or constant) and value equality is exact, a witness at (p, q) must
-// bind that anchor to a single shared value node — equal literals are
-// interned to one node — lying within the radius of both sides. The
-// partners are then exactly the same-type entities within maxRadius
-// hops of a value node within maxRadius hops of p, instead of every
-// same-type entity. Otherwise (custom ValueEq, or a purely
-// entity-variable key) it falls back to all same-type entities.
-func (e *Engine) partnersFor(p graph.NodeID) []graph.NodeID {
-	t := e.g.TypeOf(p)
-	all := e.g.EntitiesOfType(t)
-	anchored := e.opts.Match.ValueEq == nil
-	if anchored {
-		for _, ck := range e.m.KeysFor(t) {
-			if !keyHasValueAnchor(ck) {
-				anchored = false
-				break
-			}
-		}
-	}
-	if !anchored {
-		out := make([]graph.NodeID, 0, len(all))
-		for _, q := range all {
-			if q != p {
-				out = append(out, q)
-			}
-		}
-		return out
-	}
-	seen := make(map[graph.NodeID]bool)
-	var out []graph.NodeID
-	e.depNeighborhood(p).Each(func(n graph.NodeID) {
-		if !e.g.IsValue(n) {
-			return
-		}
-		e.depNeighborhood(n).Each(func(q graph.NodeID) {
-			if q == p || seen[q] || !e.g.IsEntity(q) || e.g.TypeOf(q) != t {
-				return
-			}
-			seen[q] = true
-			out = append(out, q)
-		})
-	})
-	return out
-}
-
-// keyHasValueAnchor reports whether the key's pattern contains a value
-// variable or constant node.
-func keyHasValueAnchor(ck *match.CompiledKey) bool {
-	for i := 0; i < ck.PatternNodeCount(); i++ {
-		kind, _, _ := ck.NodeInfo(i)
-		if kind == pattern.ValueVar || kind == pattern.Const {
-			return true
-		}
-	}
-	return false
 }
 
 // keyed reports whether n is an entity whose type has keys.

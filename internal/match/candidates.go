@@ -12,6 +12,18 @@ import (
 // variant of §4.2, and the entity-pair dependency index used by the
 // entity-dependency and incremental-checking optimizations (§4.2) and by
 // the dep edges of the product graph (§5.1).
+//
+// Two constructions of L are provided. Candidates is the literal
+// definition: the full C(n, 2) sweep over every keyed type's
+// population. CandidatesIndexed generates the same chase(G, Σ) from a
+// usually far smaller L by joining the graph's inverted value index:
+// under exact value equality, a witness of a key with a value anchor (a
+// value variable or constant) must bind that anchor to a single
+// interned value node lying in the d-neighborhood of both sides
+// (locality, §4.1), so only same-type pairs sharing such a value node
+// can ever be identified. Types whose keys do not all carry a value
+// anchor, or matchers with a custom ValueEq (where distinct value nodes
+// can compare equal), fall back to the full sweep per type.
 
 // Candidates returns the unfiltered candidate set L: every unordered
 // pair of distinct same-type entities whose type has a key. The result
@@ -33,7 +45,12 @@ func (m *Matcher) Candidates() []eqrel.Pair {
 // CandidatesPaired returns L filtered by the pairing necessary
 // condition (§4.2 "Reducing L"): pairs no key can pair are dropped.
 func (m *Matcher) CandidatesPaired() []eqrel.Pair {
-	all := m.Candidates()
+	return m.FilterPaired(m.Candidates())
+}
+
+// FilterPaired filters a candidate list by the pairing necessary
+// condition (§4.2 "Reducing L"), in place.
+func (m *Matcher) FilterPaired(all []eqrel.Pair) []eqrel.Pair {
 	out := all[:0]
 	for _, pr := range all {
 		if m.CanBePaired(graph.NodeID(pr.A), graph.NodeID(pr.B)) {
@@ -41,6 +58,194 @@ func (m *Matcher) CandidatesPaired() []eqrel.Pair {
 		}
 	}
 	return out
+}
+
+// hasMatchableKey reports whether any key on t can match at all in the
+// compiled graph; a type whose keys all reference absent predicates,
+// types or constants needs no candidates.
+func (m *Matcher) hasMatchableKey(t graph.TypeID) bool {
+	for _, ck := range m.byType[t] {
+		if ck.Matchable() {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexableType reports whether candidate generation for type t may
+// join the inverted value index instead of sweeping all same-type
+// pairs: value equality must be exact (no custom ValueEq, so equal
+// literals are one interned node) and every matchable key on t must
+// carry a value anchor. A single anchor-free (purely entity-variable)
+// key forces the full sweep, since its witnesses need not share any
+// value node.
+func (m *Matcher) IndexableType(t graph.TypeID) bool {
+	if m.Opts.ValueEq != nil {
+		return false
+	}
+	for _, ck := range m.byType[t] {
+		if ck.Matchable() && !ck.HasValueAnchor() {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidatesIndexed returns a candidate set L generated through the
+// graph's inverted value index. It is a subset of Candidates()
+// containing every pair any chasing sequence can directly identify, so
+// running the chase (or any engine) over it yields exactly
+// chase(G, Σ); the per-type fallback keeps it correct for custom
+// ValueEq and anchor-free keys. The result is sorted for determinism.
+func (m *Matcher) CandidatesIndexed() []eqrel.Pair {
+	var out []eqrel.Pair
+	seen := make(map[eqrel.Pair]bool)
+	for _, t := range m.KeyedTypes() {
+		if !m.hasMatchableKey(t) {
+			continue // no key can fire; no candidate can be identified
+		}
+		if !m.IndexableType(t) {
+			ents := m.G.EntitiesOfType(t)
+			for i := 0; i < len(ents); i++ {
+				for j := i + 1; j < len(ents); j++ {
+					out = append(out, eqrel.MakePair(int32(ents[i]), int32(ents[j])))
+				}
+			}
+			continue
+		}
+		if m.dByType[t] <= 1 {
+			out = m.appendIndexedRadius1(out, t, seen)
+		} else {
+			out = m.appendIndexedRadiusD(out, t, seen)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// appendIndexedRadius1 generates candidates for a radius-1 type. With
+// d = 1 every value anchor is a direct object of x (values are never
+// subjects), so a witness at (e1, e2) requires out-edges (e1, p, v) and
+// (e2, p, v) to the same interned value node: candidates are joined
+// straight off the index's posting lists, with no traversal.
+func (m *Matcher) appendIndexedRadius1(out []eqrel.Pair, t graph.TypeID, seen map[eqrel.Pair]bool) []eqrel.Pair {
+	for _, e := range m.G.EntitiesOfType(t) {
+		for _, edge := range m.G.Out(e) {
+			if !m.G.IsValue(edge.To) {
+				continue
+			}
+			for _, q := range m.G.ValueSubjects(edge.Pred, edge.To) {
+				// Subjects are entities by construction; emit each
+				// unordered pair once, from its smaller side.
+				if q <= e || m.G.TypeOf(q) != t {
+					continue
+				}
+				pr := eqrel.MakePair(int32(e), int32(q))
+				if !seen[pr] {
+					seen[pr] = true
+					out = append(out, pr)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// appendIndexedRadiusD generates candidates for a type with radius
+// d > 1, where a value anchor may sit several hops from x: a witness
+// still binds it to a single value node inside the d-neighborhood of
+// both sides, so entities are bucketed per value node of their (cached)
+// d-neighborhood and each bucket is joined.
+func (m *Matcher) appendIndexedRadiusD(out []eqrel.Pair, t graph.TypeID, seen map[eqrel.Pair]bool) []eqrel.Pair {
+	buckets := make(map[graph.NodeID][]graph.NodeID)
+	for _, e := range m.G.EntitiesOfType(t) {
+		m.Neighborhood(e).Each(func(n graph.NodeID) {
+			if m.G.IsValue(n) {
+				buckets[n] = append(buckets[n], e)
+			}
+		})
+	}
+	for _, ents := range buckets {
+		for i := 0; i < len(ents); i++ {
+			for j := i + 1; j < len(ents); j++ {
+				pr := eqrel.MakePair(int32(ents[i]), int32(ents[j]))
+				if !seen[pr] {
+					seen[pr] = true
+					out = append(out, pr)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ValuePartners returns the candidate partners of entity e: the other
+// same-type entities a key on e's type could possibly identify e with.
+// On an indexable type the partners are generated from the inverted
+// value index — for radius 1 by direct posting-list lookups on e's
+// value out-edges, for larger radius by reaching d hops out of each
+// value node in e's d-neighborhood — instead of returning the whole
+// same-type population. The incremental engine (internal/inc) calls
+// this per affected entity when repairing the fixpoint after a delta.
+func (m *Matcher) ValuePartners(e graph.NodeID) []graph.NodeID {
+	t := m.G.TypeOf(e)
+	if !m.hasMatchableKey(t) {
+		return nil
+	}
+	if !m.IndexableType(t) {
+		all := m.G.EntitiesOfType(t)
+		out := make([]graph.NodeID, 0, len(all)-1)
+		for _, q := range all {
+			if q != e {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	add := func(q graph.NodeID) {
+		if q == e || seen[q] || !m.G.IsEntity(q) || m.G.TypeOf(q) != t {
+			return
+		}
+		seen[q] = true
+		out = append(out, q)
+	}
+	d := m.dByType[t]
+	if d <= 1 {
+		for _, edge := range m.G.Out(e) {
+			if !m.G.IsValue(edge.To) {
+				continue
+			}
+			for _, q := range m.G.ValueSubjects(edge.Pred, edge.To) {
+				add(q)
+			}
+		}
+		return out
+	}
+	m.Neighborhood(e).Each(func(n graph.NodeID) {
+		if !m.G.IsValue(n) {
+			return
+		}
+		m.valueReach(n, d).Each(add)
+	})
+	return out
+}
+
+// valueReach returns the d-hop neighborhood of a value node, memoized
+// on lazy matchers (the incremental engine computes partners for a
+// small affected region per delta and discards the matcher afterwards;
+// non-lazy matchers stay read-only after New, so nothing is cached).
+func (m *Matcher) valueReach(v graph.NodeID, d int) *graph.NodeSet {
+	k := valueReachKey{v, d}
+	if ns, ok := m.valueNbhd[k]; ok {
+		return ns
+	}
+	ns := m.G.Neighborhood(v, d)
+	if m.Opts.Lazy {
+		m.valueNbhd[k] = ns
+	}
+	return ns
 }
 
 func sortPairs(ps []eqrel.Pair) {
@@ -78,6 +283,7 @@ func (m *Matcher) BuildDependencyIndex(pairs []eqrel.Pair) *DependencyIndex {
 		valueSeed:     make([]bool, len(pairs)),
 		recursiveOnly: make([]bool, len(pairs)),
 	}
+	registered := make(map[graph.NodeID]bool)
 	for i, pr := range pairs {
 		a, b := graph.NodeID(pr.A), graph.NodeID(pr.B)
 		t := m.G.TypeOf(a)
@@ -100,18 +306,20 @@ func (m *Matcher) BuildDependencyIndex(pairs []eqrel.Pair) *DependencyIndex {
 		if len(depTypes) == 0 {
 			continue
 		}
+		// Deduplicate across the two neighborhoods with a per-pair set
+		// (reused across pairs, cleared below): an entity in both of
+		// them must register this pair only once, regardless of the
+		// order or interleaving of registrations.
+		clear(registered)
 		register := func(n graph.NodeID) {
-			if n == a || n == b {
+			if n == a || n == b || registered[n] {
 				return
 			}
 			if !m.G.IsEntity(n) || !depTypes[m.G.TypeOf(n)] {
 				return
 			}
-			ds := idx.dependents[n]
-			if len(ds) > 0 && ds[len(ds)-1] == i {
-				return // already registered via the other neighborhood
-			}
-			idx.dependents[n] = append(ds, i)
+			registered[n] = true
+			idx.dependents[n] = append(idx.dependents[n], i)
 		}
 		m.Neighborhood(a).Each(register)
 		m.Neighborhood(b).Each(register)

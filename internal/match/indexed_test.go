@@ -1,0 +1,160 @@
+package match
+
+import (
+	"testing"
+
+	"graphkeys/internal/fixtures"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+)
+
+func partnerLabels(g *graph.Graph, ps []graph.NodeID) map[string]bool {
+	out := make(map[string]bool)
+	for _, p := range ps {
+		out[g.Label(p)] = true
+	}
+	return out
+}
+
+// TestValuePartnersRadius1 checks the pure posting-list path: partners
+// of an entity are exactly the same-type entities sharing an out-edge
+// (p, v) to an interned value node.
+func TestValuePartnersRadius1(t *testing.T) {
+	g := fixtures.MusicGraph()
+	m, err := New(g, fixtures.MusicKeys(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := partnerLabels(g, m.ValuePartners(fixtures.Node(g, "alb1")))
+	// alb2 and alb3 share name_of "Anthology 2"; artists are not
+	// same-type and must not appear.
+	if len(got) != 2 || !got["alb2"] || !got["alb3"] {
+		t.Errorf("partners(alb1) = %v, want {alb2, alb3}", got)
+	}
+	got = partnerLabels(g, m.ValuePartners(fixtures.Node(g, "art3")))
+	// art3's name "John Farnham" is unique: no partner shares a value.
+	if len(got) != 0 {
+		t.Errorf("partners(art3) = %v, want none", got)
+	}
+	got = partnerLabels(g, m.ValuePartners(fixtures.Node(g, "art1")))
+	if len(got) != 1 || !got["art2"] {
+		t.Errorf("partners(art1) = %v, want {art2}", got)
+	}
+}
+
+// TestValuePartnersRadius2 checks the d > 1 path: the shared value sits
+// two hops out, behind a wildcard entity.
+func TestValuePartnersRadius2(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddEntity("a", "T")
+	b := g.MustAddEntity("b", "T")
+	c := g.MustAddEntity("c", "T")
+	ma := g.MustAddEntity("ma", "M")
+	mb := g.MustAddEntity("mb", "M")
+	mc := g.MustAddEntity("mc", "M")
+	shared := g.AddValue("shared")
+	g.MustAddTriple(a, "p", ma)
+	g.MustAddTriple(b, "p", mb)
+	g.MustAddTriple(c, "p", mc)
+	g.MustAddTriple(ma, "q", shared)
+	g.MustAddTriple(mb, "q", shared)
+	g.MustAddTriple(mc, "q", g.AddValue("other"))
+	set, err := keys.ParseString("key K for T {\n    x -p-> _m:M\n    _m:M -q-> n*\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.RadiusFor(g.TypeOf(a)); d != 2 {
+		t.Fatalf("radius = %d, want 2", d)
+	}
+	got := partnerLabels(g, m.ValuePartners(a))
+	if len(got) != 1 || !got["b"] {
+		t.Errorf("partners(a) = %v, want {b}", got)
+	}
+}
+
+// TestValuePartnersFallback: a type with an anchor-free key (or a
+// custom ValueEq) must fall back to every other same-type entity.
+func TestValuePartnersFallback(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddEntity("a", "T")
+	b := g.MustAddEntity("b", "T")
+	c := g.MustAddEntity("c", "T")
+	u := g.MustAddEntity("u", "U")
+	g.MustAddTriple(a, "owns", u)
+	g.MustAddTriple(b, "owns", u)
+	_ = c
+	set, err := keys.ParseString("key K for T {\n    x -owns-> _:U\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IndexableType(g.TypeOf(a)) {
+		t.Fatal("anchor-free key reported indexable")
+	}
+	got := partnerLabels(g, m.ValuePartners(a))
+	if len(got) != 2 || !got["b"] || !got["c"] {
+		t.Errorf("partners(a) = %v, want {b, c}", got)
+	}
+
+	// Same graph with an anchored key but a custom ValueEq: still not
+	// indexable, because distinct nodes may compare equal.
+	g2 := fixtures.MusicGraph()
+	m2, err := New(g2, fixtures.MusicKeys(), Options{ValueEq: func(x, y string) bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.IndexableType(g2.TypeOf(fixtures.Node(g2, "alb1"))) {
+		t.Fatal("custom ValueEq reported indexable")
+	}
+}
+
+// TestDependencyIndexOverlappingNeighborhoods: when the two sides of a
+// candidate pair share d-neighborhood entities (here a single artist
+// recorded on both albums), the dependency index must register the
+// pair once per entity — order-independently — not once per
+// neighborhood it appears in.
+func TestDependencyIndexOverlappingNeighborhoods(t *testing.T) {
+	g := graph.New()
+	alb1 := g.MustAddEntity("alb1", "album")
+	alb2 := g.MustAddEntity("alb2", "album")
+	art1 := g.MustAddEntity("art1", "artist")
+	name := g.AddValue("Anthology 2")
+	g.MustAddTriple(alb1, "name_of", name)
+	g.MustAddTriple(alb2, "name_of", name)
+	// art1 lies in the 1-hop neighborhood of BOTH albums.
+	g.MustAddTriple(alb1, "recorded_by", art1)
+	g.MustAddTriple(alb2, "recorded_by", art1)
+	g.MustAddTriple(art1, "name_of", g.AddValue("The Beatles"))
+
+	m, err := New(g, fixtures.MusicKeys(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := m.Candidates()
+	idx := m.BuildDependencyIndex(cands)
+	ds := idx.Dependents(art1)
+	if len(ds) != 1 {
+		t.Fatalf("Dependents(art1) = %v, want exactly one registration of the (alb1, alb2) pair", ds)
+	}
+	pr := cands[ds[0]]
+	if graph.NodeID(pr.A) != alb1 || graph.NodeID(pr.B) != alb2 {
+		t.Errorf("Dependents(art1) points at pair (%d, %d), want (alb1, alb2)", pr.A, pr.B)
+	}
+	// No dependents list anywhere may contain duplicates.
+	for n := 0; n < g.NumNodes(); n++ {
+		seen := make(map[int]bool)
+		for _, i := range idx.Dependents(graph.NodeID(n)) {
+			if seen[i] {
+				t.Fatalf("Dependents(%d) registers pair %d twice", n, i)
+			}
+			seen[i] = true
+		}
+	}
+}

@@ -100,12 +100,20 @@ type CompiledKey struct {
 	order  []int
 	anchor []int
 
-	matchable bool
+	matchable      bool
+	hasValueAnchor bool
 }
 
 // Matchable reports whether the key can possibly match in the graph it
 // was compiled against.
 func (ck *CompiledKey) Matchable() bool { return ck.matchable }
+
+// HasValueAnchor reports whether the key's pattern contains a value
+// variable or constant node. Under exact value equality a witness must
+// bind such an anchor to a single interned value node shared by both
+// sides, which is what lets candidate generation join on the inverted
+// value index instead of sweeping all same-type pairs.
+func (ck *CompiledKey) HasValueAnchor() bool { return ck.hasValueAnchor }
 
 // Compile resolves a key against g. The returned key is read-only and
 // safe for concurrent use.
@@ -146,6 +154,9 @@ func Compile(g *graph.Graph, k *keys.Key) (*CompiledKey, error) {
 			} else {
 				ck.matchable = false
 			}
+		}
+		if cn.kind == kValueVar || cn.kind == kConst {
+			ck.hasValueAnchor = true
 		}
 		ck.nodes[i] = cn
 	}
@@ -246,6 +257,16 @@ type Matcher struct {
 	dByType map[graph.TypeID]int
 	// neighborhoods caches Gd for every entity of a keyed type.
 	neighborhoods map[graph.NodeID]*graph.NodeSet
+	// valueNbhd caches d-hop neighborhoods of value nodes for
+	// ValuePartners, on lazy matchers only (the incremental engine
+	// recreates its matcher per delta, so no stale entry survives a
+	// mutation; non-lazy matchers stay read-only after New).
+	valueNbhd map[valueReachKey]*graph.NodeSet
+}
+
+type valueReachKey struct {
+	v graph.NodeID
+	d int
 }
 
 // New compiles the key set against g and precomputes the d-neighbor of
@@ -258,6 +279,7 @@ func New(g *graph.Graph, set *keys.Set, opts Options) (*Matcher, error) {
 		byType:        make(map[graph.TypeID][]*CompiledKey),
 		dByType:       make(map[graph.TypeID]int),
 		neighborhoods: make(map[graph.NodeID]*graph.NodeSet),
+		valueNbhd:     make(map[valueReachKey]*graph.NodeSet),
 	}
 	for _, typeName := range set.Types() {
 		tid, ok := g.TypeByName(typeName)
