@@ -24,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations")
-		quick = flag.Bool("quick", false, "smoke-sized datasets")
-		csv   = flag.Bool("csv", false, "CSV output")
-		scale = flag.Float64("scale", 1.0, "dataset scale factor")
-		seed  = flag.Int64("seed", 1, "random seed")
+		exp     = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations | parallelchase")
+		quick   = flag.Bool("quick", false, "smoke-sized datasets")
+		csv     = flag.Bool("csv", false, "CSV output")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+		jsonOut = flag.String("jsonout", "", "parallelchase: write the JSON report to this file")
 	)
 	flag.Parse()
 
@@ -67,6 +68,30 @@ func main() {
 		{"table2", func() (*bench.Table, error) { return bench.Table2(cfg, 4) }},
 		{"ablations", func() (*bench.Table, error) { return bench.Ablations(bench.SyntheticDS, cfg, 4) }},
 		{"cluster", func() (*bench.Table, error) { return bench.ClusterComparison(bench.SyntheticDS, cfg, 4) }},
+		{"parallelchase", func() (*bench.Table, error) {
+			// The parallel-chase speedup experiment wants a
+			// check-dominated workload: a larger graph than the figure
+			// panels, full candidate sweep.
+			pcfg := cfg
+			if *scale == 1.0 && !*quick {
+				pcfg.Scale = 4.0
+			}
+			t, rep, err := bench.ParallelChaseExp(bench.SyntheticDS, pcfg, []int{2, 4, 8}, true)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonOut != "" {
+				data, err := rep.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "embench: wrote %s\n", *jsonOut)
+			}
+			return t, nil
+		}},
 	}
 
 	ran := 0

@@ -6,8 +6,8 @@
 //	emrun -graph work.graph -keys work.keys -engine emoptvc -p 8
 //
 // The graph file is the tab-separated triple format of emgen/LoadGraph;
-// the keys file is the key DSL. Engines: chase, emmr, emvf2mr, emoptmr,
-// emvc, emoptvc.
+// the keys file is the key DSL. Engines: chase, pchase (the parallel
+// chase), emmr, emvf2mr, emoptmr, emvc, emoptvc.
 //
 // With -incremental, emrun instead replays a mutation workload through
 // the stateful graphkeys.Matcher: each round removes a random batch of
@@ -34,7 +34,7 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "graph file (text triple format)")
 		keysPath  = flag.String("keys", "", "keys file (key DSL)")
-		engine    = flag.String("engine", "emoptvc", "chase | emmr | emvf2mr | emoptmr | emvc | emoptvc")
+		engine    = flag.String("engine", "emoptvc", "chase | pchase | emmr | emvf2mr | emoptmr | emvc | emoptvc")
 		p         = flag.Int("p", 4, "number of workers")
 		classes   = flag.Bool("classes", false, "print equivalence classes instead of pairs")
 		validate  = flag.Bool("validate", false, "check key satisfaction G |= Σ instead of matching")
@@ -71,12 +71,14 @@ func main() {
 	}
 
 	engines := map[string]graphkeys.Engine{
-		"chase":   graphkeys.Chase,
-		"emmr":    graphkeys.MapReduce,
-		"emvf2mr": graphkeys.MapReduceVF2,
-		"emoptmr": graphkeys.MapReduceOpt,
-		"emvc":    graphkeys.VertexCentric,
-		"emoptvc": graphkeys.VertexCentricOpt,
+		"chase":         graphkeys.Chase,
+		"pchase":        graphkeys.ParallelChase,
+		"parallelchase": graphkeys.ParallelChase,
+		"emmr":          graphkeys.MapReduce,
+		"emvf2mr":       graphkeys.MapReduceVF2,
+		"emoptmr":       graphkeys.MapReduceOpt,
+		"emvc":          graphkeys.VertexCentric,
+		"emoptvc":       graphkeys.VertexCentricOpt,
 	}
 	eng, ok := engines[strings.ToLower(*engine)]
 	if !ok {

@@ -24,12 +24,14 @@
 //	    fmt.Println(m.A, "and", m.B, "are the same entity")
 //	}
 //
-// Five engines are available: the sequential chase (the reference), the
-// MapReduce family (EMMR, EMVF2MR, EMOptMR) and the vertex-centric
-// family (EMVC, EMOptVC), all returning identical results; the engines
-// differ in how the work parallelizes, which is the subject of the
-// paper's experimental study (reproduced in this repository's
-// benchmarks).
+// Six engines are available: the sequential chase (the reference), the
+// parallel chase (ParallelChase, the serving-grade engine: candidate
+// checks fan out over a worker pool against the shard-partitioned
+// store), the MapReduce family (EMMR, EMVF2MR, EMOptMR) and the
+// vertex-centric family (EMVC, EMOptVC), all returning identical
+// results; the engines differ in how the work parallelizes, which is
+// the subject of the paper's experimental study (reproduced in this
+// repository's benchmarks).
 package graphkeys
 
 import (
@@ -41,6 +43,7 @@ import (
 	"graphkeys/internal/chase"
 	"graphkeys/internal/emmr"
 	"graphkeys/internal/emvc"
+	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
 	"graphkeys/internal/keys"
@@ -202,6 +205,12 @@ const (
 	// VertexCentricOpt is EM^Opt_VC (§5.2): bounded messages and
 	// prioritized propagation.
 	VertexCentricOpt
+	// ParallelChase is the chase parallelized on the shared engine
+	// substrate: candidate checks partition across Options.Parallelism
+	// workers, identifications merge through a lock-protected Eq, and
+	// a dependency worklist drives recursive re-checks. By
+	// Church–Rosser it returns exactly the sequential chase's result.
+	ParallelChase
 )
 
 // String names the engine as in the paper.
@@ -219,6 +228,8 @@ func (e Engine) String() string {
 		return "EMVC"
 	case VertexCentricOpt:
 		return "EMOptVC"
+	case ParallelChase:
+		return "ParallelChase"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -229,8 +240,13 @@ type Options struct {
 	// Engine selects the algorithm; the zero value is Chase, the
 	// sequential reference. VertexCentricOpt is the paper's fastest.
 	Engine Engine
-	// Workers is the parallelism p (ignored by Chase); default 4.
+	// Workers is the parallelism p (ignored by Chase); the default is
+	// GOMAXPROCS capped at 4.
 	Workers int
+	// Parallelism is the worker count of the ParallelChase engine;
+	// when unset it falls back to Workers (and then to the same
+	// default). Other engines ignore it.
+	Parallelism int
 	// BoundK bounds in-flight message copies per pair and key for
 	// VertexCentricOpt; 0 means the paper's default of 4.
 	BoundK int
@@ -246,11 +262,13 @@ type Options struct {
 	FullCandidateSweep bool
 }
 
-func (o Options) workers() int {
-	if o.Workers < 1 {
-		return 4
+func (o Options) workers() int { return engine.Workers(o.Workers) }
+
+func (o Options) parallelism() int {
+	if o.Parallelism >= 1 {
+		return o.Parallelism
 	}
-	return o.Workers
+	return o.workers()
 }
 
 // Pair is an identified entity pair.
@@ -283,6 +301,12 @@ func Match(g *Graph, ks *KeySet, opts Options) (*Result, error) {
 	switch opts.Engine {
 	case Chase:
 		res, err := chase.Run(g.g, ks.set, chase.Options{Match: mo, FullSweep: opts.FullCandidateSweep})
+		if err != nil {
+			return nil, err
+		}
+		pairs = res.Pairs
+	case ParallelChase:
+		res, err := chase.Run(g.g, ks.set, chase.Options{Match: mo, FullSweep: opts.FullCandidateSweep, Parallelism: opts.parallelism()})
 		if err != nil {
 			return nil, err
 		}

@@ -59,9 +59,19 @@ func (r *Result) Identified(e1, e2 graph.NodeID) bool {
 // Options configures a chase run.
 type Options struct {
 	Match match.Options
+	// Parallelism selects the parallel chase (see parallel.go) when
+	// >= 2: candidate checks fan out across that many workers, and
+	// identifications merge through a lock-protected Eq with a
+	// dependency worklist driving recursive re-checks. By the
+	// Church–Rosser property (Proposition 1) the result is identical
+	// to the sequential chase. Values <= 1 run the sequential
+	// reference algorithm.
+	Parallelism int
 	// Order optionally permutes the candidate list before each sweep;
 	// it exists so tests can exercise the Church–Rosser property by
-	// applying keys in different orders. It must be a permutation.
+	// applying keys in different orders. It must be a permutation. It
+	// is a sequential-chase testing hook and is ignored by the
+	// parallel path.
 	Order func(pairs []eqrel.Pair)
 	// UseVF2 selects the enumerate-then-coincide baseline checker
 	// instead of the guided search; results must be identical.
@@ -79,7 +89,12 @@ type Options struct {
 // Run computes chase(G, Σ). It sweeps the candidate set until a sweep
 // identifies nothing new; each sweep consults the Eq computed so far, so
 // recursively defined keys fire as soon as their prerequisites are in.
+// With Options.Parallelism >= 2 the sweeps fan out across a worker
+// pool (see parallel.go); the fixpoint is the same either way.
 func Run(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
+	if opts.Parallelism >= 2 {
+		return runParallel(g, set, opts)
+	}
 	m, err := match.New(g, set, opts.Match)
 	if err != nil {
 		return nil, err

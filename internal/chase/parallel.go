@@ -1,0 +1,148 @@
+package chase
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"graphkeys/internal/engine"
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+	"graphkeys/internal/match"
+)
+
+// This file is the parallel chase (EngineParallelChase at the public
+// API): the revised chase of §3.1 executed on the shared concurrent
+// substrate of internal/engine. The candidate set L is partitioned
+// across a worker pool; guided witness checks run concurrently against
+// a per-round snapshot of Eq; identifications merge through the
+// lock-protected tracker; and a dependency worklist (the entity-pair
+// dependency relation of §4.2) selects the pairs whose checks can
+// newly succeed after a round's class merges, driving the recursive
+// re-checks until the fixpoint.
+//
+// Correctness rests on two properties:
+//
+//   - Church–Rosser (Proposition 1): every terminal chasing sequence
+//     reaches the same chase(G, Σ), so the nondeterministic
+//     interleaving of concurrent checks cannot change the result —
+//     only the order of the recorded steps.
+//
+//   - Dependency completeness: a check of (e1, e2) depends on Eq only
+//     through the entity-variable bindings (u', v') its witness needs
+//     in Eq. If the check failed against a round's snapshot, it can
+//     newly succeed only after classes containing such a u' and v'
+//     merge — and every such pair is registered as a dependent of the
+//     merged classes' members in the dependency index. Round one
+//     checks all of L, so the gated rounds preserve the fixpoint (the
+//     same argument EMOptMR's incremental checking relies on, §4.2).
+//
+// The recorded Steps form a valid chasing sequence: a step's Requires
+// held in the snapshot its check ran against, which contains only
+// unions merged in earlier rounds, and merges within a round append in
+// merge order.
+func runParallel(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
+	p := opts.Parallelism
+	mo := opts.Match
+	if mo.Workers < p {
+		mo.Workers = p
+	}
+	m, err := match.New(g, set, mo)
+	if err != nil {
+		return nil, err
+	}
+	var cands []eqrel.Pair
+	if opts.FullSweep {
+		cands = m.Candidates()
+	} else {
+		cands = m.CandidatesIndexed()
+	}
+	if opts.UsePairing {
+		cands = m.FilterPaired(cands)
+	}
+	res := &Result{Candidates: len(cands)}
+	tr := engine.NewTracker(g.NumNodes())
+	// The dependency index only matters when some key is recursive:
+	// without entity variables no check consults Eq, so no failed check
+	// can newly succeed after a merge and one round reaches the
+	// fixpoint.
+	var depIdx *match.DependencyIndex
+	for _, k := range set.Keys() {
+		if k.Recursive {
+			depIdx = m.BuildDependencyIndexParallel(cands, p)
+			break
+		}
+	}
+	var isoSteps atomic.Int64
+
+	type verdict struct {
+		ok   bool
+		key  string
+		reqs []eqrel.Pair
+		uses []graph.Triple
+	}
+
+	active := make([]int, len(cands))
+	for i := range active {
+		active[i] = i
+	}
+	for len(active) > 0 {
+		// Every check of a round sees the Eq of the previous round; the
+		// snapshot reader is safe for any number of workers and free of
+		// lock contention on the hot search path.
+		snap := tr.Snapshot().Reader()
+		verdicts := make([]verdict, len(active))
+		engine.Parallel(p, len(active), func(i int) {
+			pr := cands[active[i]]
+			if snap.Same(pr.A, pr.B) {
+				return
+			}
+			ok, key, reqs, uses, steps := identify(m, graph.NodeID(pr.A), graph.NodeID(pr.B), snap, opts.UseVF2)
+			isoSteps.Add(int64(steps))
+			if ok {
+				verdicts[i] = verdict{ok: true, key: key, reqs: reqs, uses: uses}
+			}
+		})
+
+		// Merge phase: commit identifications through the tracker in
+		// verdict order and collect the entities of every merged class.
+		changed := make(map[int32]bool)
+		for i, v := range verdicts {
+			if !v.ok {
+				continue
+			}
+			pr := cands[active[i]]
+			affected, grew := tr.Union(pr.A, pr.B)
+			if !grew {
+				// Already merged transitively during this phase; its
+				// class members are in changed via those unions.
+				continue
+			}
+			res.Steps = append(res.Steps, Step{Pair: pr, Key: v.key, Requires: v.reqs, Uses: v.uses})
+			for _, x := range affected {
+				changed[x] = true
+			}
+		}
+		if len(changed) == 0 || depIdx == nil {
+			break
+		}
+
+		// Dependency worklist: the only pairs whose checks can newly
+		// succeed are dependents of the merged classes' members.
+		wl := engine.NewWorklist[int]()
+		for e := range changed {
+			for _, di := range depIdx.Dependents(graph.NodeID(e)) {
+				if !tr.Same(cands[di].A, cands[di].B) {
+					wl.Push(di)
+				}
+			}
+		}
+		active = wl.Drain()
+		sort.Ints(active) // deterministic check order round to round
+	}
+
+	res.Eq = tr.Relation()
+	res.IsoSteps = int(isoSteps.Load())
+	res.Pairs = res.Eq.Pairs(m.KeyedEntities())
+	return res, nil
+}

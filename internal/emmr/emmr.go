@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
 	"graphkeys/internal/keys"
@@ -139,7 +140,11 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 	rt.TaskDelay = cfg.TaskDelay
 	rt.Cost = cfg.Cost
 
-	res := &Result{Eq: eqrel.New(g.NumNodes())}
+	// The driver merges identifications through the shared tracker (the
+	// lock-protected Eq plus class members); its relation becomes the
+	// result once the rounds quiesce.
+	tr := engine.NewTracker(g.NumNodes())
+	res := &Result{}
 	st := &res.Stats
 
 	// DriverMR line 1: candidate set and d-neighbors (cached in the
@@ -163,7 +168,7 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 			nb     nbhd
 		}
 		outs := make([]pairingOut, len(unfiltered))
-		match.Parallel(cfg.P, len(unfiltered), func(i int) {
+		engine.Parallel(cfg.P, len(unfiltered), func(i int) {
 			e1, e2 := graph.NodeID(unfiltered[i].A), graph.NodeID(unfiltered[i].B)
 			r1, r2, paired := m.ReducedNeighborhoods(e1, e2)
 			outs[i] = pairingOut{paired: paired, nb: nbhd{r1, r2}}
@@ -182,17 +187,7 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 	}
 	st.Candidates = len(cands)
 
-	depIdx := m.BuildDependencyIndex(cands)
-	// Class membership lists, maintained by the driver so that a merge
-	// can trigger the dependents of every member of the merged classes.
-	members := make(map[int32][]int32)
-	classOf := func(n int32) []int32 {
-		r := res.Eq.Find(n)
-		if ms := members[r]; ms != nil {
-			return ms
-		}
-		return []int32{n}
-	}
+	depIdx := m.BuildDependencyIndexParallel(cands, cfg.P)
 
 	active := make([]int, len(cands))
 	for i := range active {
@@ -227,7 +222,7 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 		// BSP semantics: every check in a round sees the Eq of the
 		// previous round (the global Eq in HDFS). The read-only view is
 		// safe for the concurrent map tasks.
-		eqSnap := res.Eq.Clone().Reader()
+		eqSnap := tr.Snapshot().Reader()
 
 		// MapEM: check pairs in parallel, keyed by entity as in Fig. 4.
 		verdicts := mapreduce.Round(rt, active,
@@ -257,22 +252,16 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 				continue
 			}
 			pr := cands[v.idx]
-			if res.Eq.Same(pr.A, pr.B) {
-				continue
-			}
 			// Union and record the merged class members: every cross
 			// pair of the two classes is newly in Eq, so dependents of
 			// any member may now fire.
-			ca, cb := classOf(pr.A), classOf(pr.B)
-			for _, x := range ca {
+			affected, changed := tr.Union(pr.A, pr.B)
+			if !changed {
+				continue
+			}
+			for _, x := range affected {
 				changedEntities[x] = true
 			}
-			for _, x := range cb {
-				changedEntities[x] = true
-			}
-			res.Eq.Union(pr.A, pr.B)
-			merged := append(append([]int32{}, ca...), cb...)
-			members[res.Eq.Find(pr.A)] = merged
 			st.IdentifiedDirect++
 			newlyIdentified = append(newlyIdentified, v.idx)
 		}
@@ -284,26 +273,26 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 		// Select the next round's active pairs.
 		var next []int
 		if cfg.Variant == Opt {
-			seen := make(map[int]bool)
+			wl := engine.NewWorklist[int]()
 			for e := range changedEntities {
 				for _, di := range depIdx.Dependents(graph.NodeID(e)) {
-					if !seen[di] && !res.Eq.Same(cands[di].A, cands[di].B) {
-						seen[di] = true
-						next = append(next, di)
+					if !tr.Same(cands[di].A, cands[di].B) {
+						wl.Push(di)
 					}
 				}
 			}
+			next = wl.Drain()
 			// Count the re-checks the gating avoided.
 			pending := 0
 			for i := range cands {
-				if !res.Eq.Same(cands[i].A, cands[i].B) {
+				if !tr.Same(cands[i].A, cands[i].B) {
 					pending++
 				}
 			}
 			st.SkippedByDependency += pending - len(next)
 		} else {
 			for i := range cands {
-				if !res.Eq.Same(cands[i].A, cands[i].B) {
+				if !tr.Same(cands[i].A, cands[i].B) {
 					next = append(next, i)
 				}
 			}
@@ -313,17 +302,8 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 
 	st.Rounds = rt.Rounds()
 	st.MR = rt.Stats()
-	res.Pairs = res.Eq.Pairs(keyedEntities(g, m))
+	res.Eq = tr.Relation()
+	res.Pairs = res.Eq.Pairs(m.KeyedEntities())
 	st.Wall = time.Since(start)
 	return res, nil
-}
-
-func keyedEntities(g *graph.Graph, m *match.Matcher) []int32 {
-	var out []int32
-	for _, t := range m.KeyedTypes() {
-		for _, e := range g.EntitiesOfType(t) {
-			out = append(out, int32(e))
-		}
-	}
-	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
 	"graphkeys/internal/keys"
@@ -111,7 +112,7 @@ type engineState struct {
 	prod    *Product
 	cands   []eqrel.Pair
 	tours   map[graph.TypeID][]*compiledTour
-	tr      *tracker
+	tr      *engine.Tracker
 	depIdx  *match.DependencyIndex
 	cfg     Config
 	k       int
@@ -129,7 +130,7 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &engineState{m: m, cfg: cfg, stats: &Stats{}, tr: newTracker(g.NumNodes())}
+	st := &engineState{m: m, cfg: cfg, stats: &Stats{}, tr: engine.NewTracker(g.NumNodes())}
 	st.k = cfg.K
 	if st.k <= 0 {
 		st.k = 4
@@ -157,7 +158,7 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 	}
 
 	// Dependency index over the paired candidates (dep edges).
-	st.depIdx = m.BuildDependencyIndex(st.cands)
+	st.depIdx = m.BuildDependencyIndexParallel(st.cands, cfg.P)
 	st.stats.DepLinks = st.depIdx.Links()
 	if cfg.CountProductEdges {
 		st.stats.ProductEdges = st.prod.EdgeCount()
@@ -191,8 +192,8 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 	}
 
 	st.stats.MaxQueueDepth = st.eng.MaxQueueDepth()
-	res := &Result{Eq: st.tr.relation(), Stats: *st.stats}
-	res.Pairs = res.Eq.Pairs(keyedEntities(g, m))
+	res := &Result{Eq: st.tr.Relation(), Stats: *st.stats}
+	res.Pairs = res.Eq.Pairs(m.KeyedEntities())
 	res.Stats.Wall = time.Since(start)
 	return res, nil
 }
@@ -382,7 +383,7 @@ func (st *engineState) tourOf(msg *message) *compiledTour {
 // union-find).
 func (st *engineState) identify(candIdx int, send func(int, *message)) {
 	pr := st.cands[candIdx]
-	affected, changed := st.tr.union(pr.A, pr.B)
+	affected, changed := st.tr.Union(pr.A, pr.B)
 	if !changed {
 		return
 	}
@@ -562,14 +563,4 @@ func cloneSlots(s []opair) []opair {
 	c := make([]opair, len(s))
 	copy(c, s)
 	return c
-}
-
-func keyedEntities(g *graph.Graph, m *match.Matcher) []int32 {
-	var out []int32
-	for _, t := range m.KeyedTypes() {
-		for _, e := range g.EntitiesOfType(t) {
-			out = append(out, int32(e))
-		}
-	}
-	return out
 }

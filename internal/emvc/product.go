@@ -7,8 +7,7 @@
 package emvc
 
 import (
-	"sync"
-
+	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
 	"graphkeys/internal/match"
@@ -118,7 +117,7 @@ func buildProduct(m *match.Matcher, cands []eqrel.Pair, workers int) (*Product, 
 		tuples []opair
 	}
 	outs := make([]out, len(cands))
-	match.Parallel(workers, len(cands), func(i int) {
+	engine.Parallel(workers, len(cands), func(i int) {
 		pr := cands[i]
 		e1, e2 := graph.NodeID(pr.A), graph.NodeID(pr.B)
 		g1d, g2d := m.Neighborhood(e1), m.Neighborhood(e2)
@@ -150,49 +149,8 @@ func buildProduct(m *match.Matcher, cands []eqrel.Pair, workers int) (*Product, 
 	return p, paired
 }
 
-// tracker is the concurrent equivalence relation with class-membership
-// lists: a union reports every entity of the two merged classes so that
-// dependents of any member can be re-triggered (transitive merges can
-// enable pairs that depend on entities far from the unioned pair).
-type tracker struct {
-	mu      sync.Mutex
-	eq      *eqrel.Eq
-	members map[int32][]int32
-}
-
-func newTracker(n int) *tracker {
-	return &tracker{eq: eqrel.New(n), members: make(map[int32][]int32)}
-}
-
-// Same implements match.EqView.
-func (t *tracker) Same(a, b int32) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.eq.Same(a, b)
-}
-
-// union merges the classes of a and b. If the relation grew, it returns
-// the members of both former classes (the affected entities).
-func (t *tracker) union(a, b int32) (affected []int32, changed bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	ra, rb := t.eq.Find(a), t.eq.Find(b)
-	if ra == rb {
-		return nil, false
-	}
-	ca, cb := t.members[ra], t.members[rb]
-	if ca == nil {
-		ca = []int32{a}
-	}
-	if cb == nil {
-		cb = []int32{b}
-	}
-	t.eq.Union(a, b)
-	merged := append(append(make([]int32, 0, len(ca)+len(cb)), ca...), cb...)
-	t.members[t.eq.Find(a)] = merged
-	return merged, true
-}
-
-// relation hands out the final Eq; callers must be done with concurrent
-// access.
-func (t *tracker) relation() *eqrel.Eq { return t.eq }
+// The concurrent equivalence relation with class-membership lists the
+// engine merges identifications through is engine.Tracker: a union
+// reports every entity of the two merged classes so that dependents of
+// any member can be re-triggered (transitive merges can enable pairs
+// that depend on entities far from the unioned pair).

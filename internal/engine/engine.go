@@ -1,0 +1,66 @@
+// Package engine is the shared concurrent-execution substrate of the
+// entity-matching engines: worker-count resolution, strided
+// parallel-for, a dedup worklist, and a lock-protected equivalence
+// tracker with class-membership lists.
+//
+// Before this package existed, the sequential chase, EMMR, EMVC and the
+// incremental engine each hand-rolled their own partitioning, worklist
+// and class-tracking machinery. All four now run on these primitives,
+// as does the parallel chase (internal/chase, EngineParallelChase),
+// which is built directly on Parallel + Tracker + Worklist.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the ceiling for the default worker count: the
+// paper's experiments default to p = 4, and small fixed parallelism
+// keeps the simulated-cluster measurements comparable across machines.
+const DefaultWorkers = 4
+
+// Workers resolves a caller-supplied worker count: p >= 1 is taken as
+// is; anything else defaults to GOMAXPROCS capped at DefaultWorkers,
+// so a single-core environment does not pay goroutine overhead for
+// parallelism it cannot use.
+func Workers(p int) int {
+	if p >= 1 {
+		return p
+	}
+	if n := runtime.GOMAXPROCS(0); n < DefaultWorkers {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return DefaultWorkers
+}
+
+// Parallel runs fn(i) for i in [0, n) across the given number of
+// goroutines, striding the index space so adjacent items spread over
+// workers (candidate lists are sorted, and neighboring pairs tend to
+// cost alike). It degrades to a sequential loop when workers < 2 or
+// the problem is trivially small, and returns when every call has.
+func Parallel(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"sync"
+
+	"graphkeys/internal/eqrel"
+)
+
+// Tracker is the lock-protected equivalence relation the concurrent
+// engines merge identifications through: a union-find plus
+// class-membership lists, so that a union reports every entity of the
+// two merged classes — the set whose dependents may newly fire. The
+// transitive-closure maintenance the paper's ReduceEM join rule and
+// tc-edge propagation implement explicitly in a distributed setting is
+// the union-find here; the membership lists are what lets a merge
+// trigger re-checks of pairs that depend on entities far from the
+// unioned pair.
+//
+// All methods are safe for concurrent use. Same implements the
+// matcher's EqView, so workers can consult the live relation while
+// others union into it.
+type Tracker struct {
+	mu      sync.Mutex
+	eq      *eqrel.Eq
+	members map[int32][]int32
+}
+
+// NewTracker returns a tracker over the identity relation of n nodes.
+func NewTracker(n int) *Tracker {
+	return &Tracker{eq: eqrel.New(n), members: make(map[int32][]int32)}
+}
+
+// Same reports whether (a, b) is in the relation. It implements
+// match.EqView.
+func (t *Tracker) Same(a, b int32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eq.Same(a, b)
+}
+
+// Union merges the classes of a and b. If the relation grew, it
+// returns the members of both former classes (the affected entities);
+// changed is false when a and b were already equivalent.
+func (t *Tracker) Union(a, b int32) (affected []int32, changed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.unionLocked(a, b)
+}
+
+func (t *Tracker) unionLocked(a, b int32) (affected []int32, changed bool) {
+	ra, rb := t.eq.Find(a), t.eq.Find(b)
+	if ra == rb {
+		return nil, false
+	}
+	ca, cb := t.members[ra], t.members[rb]
+	if ca == nil {
+		ca = []int32{a}
+	}
+	if cb == nil {
+		cb = []int32{b}
+	}
+	t.eq.Union(a, b)
+	merged := append(append(make([]int32, 0, len(ca)+len(cb)), ca...), cb...)
+	nr := t.eq.Find(a)
+	t.members[nr] = merged
+	if ra != nr {
+		delete(t.members, ra)
+	}
+	if rb != nr {
+		delete(t.members, rb)
+	}
+	return merged, true
+}
+
+// Snapshot returns an independent copy of the relation, for BSP-style
+// rounds where every concurrent check must see the Eq of the previous
+// round.
+func (t *Tracker) Snapshot() *eqrel.Eq {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eq.Clone()
+}
+
+// Relation hands out the underlying Eq once concurrent work has
+// finished. The caller must ensure no concurrent access afterwards.
+func (t *Tracker) Relation() *eqrel.Eq { return t.eq }

@@ -3,10 +3,10 @@ package graph
 import "fmt"
 
 // This file implements batched graph mutations: a Delta is an ordered
-// list of add-entity, add-triple and remove-triple operations, applied
-// atomically by ApplyDelta. Deltas are the unit of change the
-// incremental entity-matching engine (internal/inc) maintains
-// chase(G, Σ) under.
+// list of add-entity, add-triple, remove-triple and remove-entity
+// operations, applied atomically by ApplyDelta. Deltas are the unit of
+// change the incremental entity-matching engine (internal/inc)
+// maintains chase(G, Σ) under.
 //
 // Operations reference entities by external ID and values by literal,
 // so a Delta can be built without a Graph in hand and applied to any
@@ -23,15 +23,21 @@ const (
 	OpAddTriple
 	// OpRemoveTriple deletes a triple (no-op if it is absent).
 	OpRemoveTriple
+	// OpRemoveEntity removes an entity: it expands to removing every
+	// incident triple (out- and in-edges) and then tombstones the node
+	// (no-op if the entity is absent). The dense NodeID is retired, not
+	// reused; re-adding the same external ID later creates a fresh
+	// node.
+	OpRemoveEntity
 )
 
 // DeltaOp is one operation of a Delta.
 type DeltaOp struct {
 	Kind OpKind
 
-	// OpAddEntity.
+	// OpAddEntity / OpRemoveEntity.
 	ID       string
-	TypeName string
+	TypeName string // OpAddEntity only
 
 	// OpAddTriple / OpRemoveTriple. Object is an entity ID, or a value
 	// literal when ObjectIsValue is set.
@@ -79,6 +85,14 @@ func (d *Delta) RemoveValueTriple(subject, pred, literal string) *Delta {
 	return d
 }
 
+// RemoveEntity appends a removal of the entity with the given external
+// ID: its incident triples are removed and the node is tombstoned.
+// Removing an absent entity is a no-op.
+func (d *Delta) RemoveEntity(id string) *Delta {
+	d.ops = append(d.ops, DeltaOp{Kind: OpRemoveEntity, ID: id})
+	return d
+}
+
 // Len reports the number of operations.
 func (d *Delta) Len() int { return len(d.ops) }
 
@@ -88,31 +102,38 @@ func (d *Delta) Ops() []DeltaOp { return d.ops }
 
 // DeltaResult reports the effective changes of an applied delta:
 // operations that were no-ops (duplicate adds, removals of absent
-// triples, re-adds of existing entities) do not appear.
+// triples or entities, re-adds of existing entities) do not appear.
 type DeltaResult struct {
 	// AddedEntities lists entity nodes created by the delta.
 	AddedEntities []NodeID
 	// AddedTriples lists triples actually inserted.
 	AddedTriples []Triple
-	// RemovedTriples lists triples actually deleted.
+	// RemovedTriples lists triples actually deleted, including the
+	// incident triples of removed entities.
 	RemovedTriples []Triple
+	// RemovedEntities lists entity nodes tombstoned by the delta.
+	RemovedEntities []NodeID
 }
 
 // Empty reports whether the delta changed nothing.
 func (r *DeltaResult) Empty() bool {
-	return len(r.AddedEntities) == 0 && len(r.AddedTriples) == 0 && len(r.RemovedTriples) == 0
+	return len(r.AddedEntities) == 0 && len(r.AddedTriples) == 0 &&
+		len(r.RemovedTriples) == 0 && len(r.RemovedEntities) == 0
 }
 
 // ApplyDelta applies the delta atomically: it first validates every
-// operation in order (simulating entity creation, so a triple may
-// reference an entity added earlier in the same delta) and only then
-// mutates the graph. On error the graph is unchanged.
+// operation in order (simulating entity creation and removal, so a
+// triple may reference an entity added earlier in the same delta, and
+// may not reference one removed earlier) and only then mutates the
+// graph. On error the graph is unchanged.
 //
 // Semantics are sequential and idempotent at the op level: adding an
 // existing triple or entity is a no-op, as is removing an absent
-// triple; only entity type conflicts and references to unknown
-// entities are errors.
+// triple or entity; only entity type conflicts and references to
+// unknown entities are errors.
 func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
+	g.writerMu.Lock()
+	defer g.writerMu.Unlock()
 	if err := g.validateDelta(d); err != nil {
 		return nil, err
 	}
@@ -120,40 +141,47 @@ func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
 	for i, op := range d.ops {
 		switch op.Kind {
 		case OpAddEntity:
-			if _, exists := g.entByID[op.ID]; !exists {
-				n, err := g.AddEntity(op.ID, op.TypeName)
+			if _, exists := g.dir.entByID[op.ID]; !exists {
+				n, err := g.addEntity(op.ID, op.TypeName)
 				if err != nil {
 					return nil, fmt.Errorf("graph: delta op %d: %v", i, err)
 				}
 				res.AddedEntities = append(res.AddedEntities, n)
 			}
+		case OpRemoveEntity:
+			if n, removed, ok := g.removeEntity(op.ID); ok {
+				res.RemovedEntities = append(res.RemovedEntities, n)
+				res.RemovedTriples = append(res.RemovedTriples, removed...)
+			}
 		case OpAddTriple, OpRemoveTriple:
-			s := g.entByID[op.Subject]
+			s := g.dir.entByID[op.Subject]
 			var o NodeID
 			if op.ObjectIsValue {
 				if op.Kind == OpRemoveTriple {
 					// Do not intern a value just to fail to remove it.
-					v, ok := g.valByLit[op.Object]
+					v, ok := g.dir.valByLit[op.Object]
 					if !ok {
 						continue
 					}
 					o = v
 				} else {
-					o = g.AddValue(op.Object)
+					o = g.addValue(op.Object)
 				}
 			} else {
-				o = g.entByID[op.Object]
+				o = g.dir.entByID[op.Object]
 			}
-			p := PredID(g.preds.Intern(op.Pred))
+			g.dir.mu.Lock()
+			p := PredID(g.dir.preds.Intern(op.Pred))
+			g.dir.mu.Unlock()
 			if op.Kind == OpAddTriple {
 				if g.HasTriple(s, p, o) {
 					continue
 				}
-				if err := g.AddTriple(s, op.Pred, o); err != nil {
+				if err := g.addTriple(s, op.Pred, o); err != nil {
 					return nil, fmt.Errorf("graph: delta op %d: %v", i, err)
 				}
 				res.AddedTriples = append(res.AddedTriples, Triple{S: s, P: p, O: o})
-			} else if g.RemoveTripleID(s, p, o) {
+			} else if g.removeTripleID(s, p, o) {
 				res.RemovedTriples = append(res.RemovedTriples, Triple{S: s, P: p, O: o})
 			}
 		default:
@@ -163,31 +191,48 @@ func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
 	return res, nil
 }
 
-// validateDelta checks every op without mutating the graph. Interning
+// validateDelta checks every op without mutating the graph, simulating
+// the entity-level state (creations and removals) op by op. Interning
 // predicates for removals is deferred to application; validation only
 // needs entity-level checks, which is what makes atomicity possible.
 func (g *Graph) validateDelta(d *Delta) error {
 	pending := make(map[string]string) // entity IDs added earlier in this delta -> type
+	removed := make(map[string]bool)   // entity IDs removed earlier in this delta
 	entityKnown := func(id string) bool {
-		if _, ok := g.entByID[id]; ok {
+		if removed[id] {
+			return false
+		}
+		if _, ok := pending[id]; ok {
 			return true
 		}
-		_, ok := pending[id]
+		_, ok := g.dir.entByID[id]
 		return ok
 	}
 	for i, op := range d.ops {
 		switch op.Kind {
 		case OpAddEntity:
-			if n, ok := g.entByID[op.ID]; ok {
-				if have := g.types.Name(int32(g.nodes[n].typ)); have != op.TypeName {
+			if have, ok := pending[op.ID]; ok && !removed[op.ID] {
+				if have != op.TypeName {
 					return fmt.Errorf("graph: delta op %d: entity %q redeclared with type %q (was %q)",
 						i, op.ID, op.TypeName, have)
 				}
-			} else if have, ok := pending[op.ID]; ok && have != op.TypeName {
-				return fmt.Errorf("graph: delta op %d: entity %q redeclared with type %q (was %q)",
-					i, op.ID, op.TypeName, have)
-			} else {
-				pending[op.ID] = op.TypeName
+				continue
+			}
+			if n, ok := g.dir.entByID[op.ID]; ok && !removed[op.ID] {
+				if have := g.dir.types.Name(int32(g.shardOf(n).nodes[localIndex(n)].typ)); have != op.TypeName {
+					return fmt.Errorf("graph: delta op %d: entity %q redeclared with type %q (was %q)",
+						i, op.ID, op.TypeName, have)
+				}
+				continue
+			}
+			// Fresh, or re-adding an ID removed earlier in this delta
+			// (which creates a new node, so any type is fine).
+			delete(removed, op.ID)
+			pending[op.ID] = op.TypeName
+		case OpRemoveEntity:
+			if entityKnown(op.ID) {
+				removed[op.ID] = true
+				delete(pending, op.ID)
 			}
 		case OpAddTriple, OpRemoveTriple:
 			if !entityKnown(op.Subject) {

@@ -7,14 +7,22 @@
 // directed edge-labeled graph: entities and values are nodes, and each
 // triple contributes an edge from s to o labeled p.
 //
-// Graphs are built incrementally with AddEntity/AddValue/AddTriple and are
-// safe for concurrent readers once building has finished; no method
-// mutates a graph after construction except the Add* builders,
-// RemoveTriple, and ApplyDelta (see delta.go). Mutation is not safe
-// concurrently with readers.
+// Graphs are built incrementally with AddEntity/AddValue/AddTriple and
+// mutated afterwards with RemoveTriple and ApplyDelta (see delta.go).
+// The store is shard-partitioned by node ID (see shard.go): mutators
+// are serialized against each other, but readers only lock the shard
+// they touch, so any number of readers may run concurrently with a
+// mutator — a reader blocks only while the mutator is writing the very
+// shard it reads. Slices handed out by accessors (Out, In,
+// EntitiesOfType, ValueSubjects) are never mutated in place, so they
+// remain valid snapshots across later mutations.
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // NodeID identifies a node (entity or value) within one Graph. IDs are
 // dense indexes assigned in insertion order, so they can be used to index
@@ -51,6 +59,10 @@ type node struct {
 	kind  Kind
 	typ   TypeID // entities only; 0 is a valid TypeID, guarded by kind
 	label string // external entity ID, or the value literal
+	// dead marks a tombstoned entity (see Delta.RemoveEntity): the slot
+	// keeps its dense ID and label, but the node is no longer an entity
+	// — it has no type, no edges, and no directory entry.
+	dead bool
 }
 
 type tripleKey struct {
@@ -68,48 +80,60 @@ type Triple struct {
 	O NodeID
 }
 
-// Graph is an in-memory triple store. The zero value is not usable; call
-// New.
-type Graph struct {
-	nodes []node
-	out   [][]Edge
-	in    [][]Edge
-
-	preds *Interner
-	types *Interner
-
+// directory holds the name maps shared by all shards. Its mutex
+// follows the same discipline as a shard's: the (serialized) writer
+// locks it for writing around each update; readers take the read lock.
+type directory struct {
+	mu       sync.RWMutex
+	preds    *Interner
+	types    *Interner
 	entByID  map[string]NodeID // external entity ID -> node
 	valByLit map[string]NodeID // value literal -> node
 	byType   [][]NodeID        // TypeID -> entity nodes of that type
+}
 
-	triples map[tripleKey]struct{}
-	nTrip   int
+// Graph is an in-memory triple store, shard-partitioned by node ID for
+// concurrent access (see shard.go). The zero value is not usable; call
+// New.
+type Graph struct {
+	// writerMu serializes all mutation (the Add*/Remove*/ApplyDelta
+	// entry points). Readers never take it.
+	writerMu sync.Mutex
 
-	valIndex valueIndex
+	shards [ShardCount]shard
+	dir    directory
+
+	nNodes atomic.Int32
+	nTrip  atomic.Int64
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		preds:    NewInterner(),
-		types:    NewInterner(),
-		entByID:  make(map[string]NodeID),
-		valByLit: make(map[string]NodeID),
-		triples:  make(map[tripleKey]struct{}),
-		valIndex: newValueIndex(),
+	g := &Graph{}
+	g.dir.preds = NewInterner()
+	g.dir.types = NewInterner()
+	g.dir.entByID = make(map[string]NodeID)
+	g.dir.valByLit = make(map[string]NodeID)
+	for i := range g.shards {
+		g.shards[i].triples = make(map[tripleKey]struct{})
+		g.shards[i].post = make(map[postKey][]NodeID)
 	}
+	return g
 }
 
-// NumNodes reports the number of nodes (entities plus values).
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+// NumNodes reports the number of nodes (entities plus values),
+// including tombstoned entities, which keep their dense IDs.
+func (g *Graph) NumNodes() int { return int(g.nNodes.Load()) }
 
 // NumTriples reports |G|, the number of triples.
-func (g *Graph) NumTriples() int { return g.nTrip }
+func (g *Graph) NumTriples() int { return int(g.nTrip.Load()) }
 
-// NumEntities reports the number of entity nodes.
+// NumEntities reports the number of live entity nodes.
 func (g *Graph) NumEntities() int {
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
 	n := 0
-	for _, ns := range g.byType {
+	for _, ns := range g.dir.byType {
 		n += len(ns)
 	}
 	return n
@@ -119,23 +143,32 @@ func (g *Graph) NumEntities() int {
 // creating it with the given type if it does not exist. Adding the same
 // ID twice with different types is an error.
 func (g *Graph) AddEntity(id, typeName string) (NodeID, error) {
-	if n, ok := g.entByID[id]; ok {
-		if g.types.Name(int32(g.nodes[n].typ)) != typeName {
+	g.writerMu.Lock()
+	defer g.writerMu.Unlock()
+	return g.addEntity(id, typeName)
+}
+
+// addEntity is AddEntity with writerMu held.
+func (g *Graph) addEntity(id, typeName string) (NodeID, error) {
+	if n, ok := g.dir.entByID[id]; ok {
+		nd := g.shardOf(n).nodes[localIndex(n)]
+		if g.dir.types.Name(int32(nd.typ)) != typeName {
 			return NoNode, fmt.Errorf("graph: entity %q redeclared with type %q (was %q)",
-				id, typeName, g.types.Name(int32(g.nodes[n].typ)))
+				id, typeName, g.dir.types.Name(int32(nd.typ)))
 		}
 		return n, nil
 	}
-	t := TypeID(g.types.Intern(typeName))
-	n := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes, node{kind: EntityKind, typ: t, label: id})
-	g.out = append(g.out, nil)
-	g.in = append(g.in, nil)
-	g.entByID[id] = n
-	for int(t) >= len(g.byType) {
-		g.byType = append(g.byType, nil)
+	g.dir.mu.Lock()
+	t := TypeID(g.dir.types.Intern(typeName))
+	g.dir.mu.Unlock()
+	n := g.allocNode(node{kind: EntityKind, typ: t, label: id})
+	g.dir.mu.Lock()
+	g.dir.entByID[id] = n
+	for int(t) >= len(g.dir.byType) {
+		g.dir.byType = append(g.dir.byType, nil)
 	}
-	g.byType[t] = append(g.byType[t], n)
+	g.dir.byType[t] = append(g.dir.byType[t], n)
+	g.dir.mu.Unlock()
 	return n, nil
 }
 
@@ -152,36 +185,60 @@ func (g *Graph) MustAddEntity(id, typeName string) NodeID {
 // AddValue returns the node for the given value literal, creating it if
 // needed. Equal literals share one node (value equality, §2.1).
 func (g *Graph) AddValue(lit string) NodeID {
-	if n, ok := g.valByLit[lit]; ok {
+	g.writerMu.Lock()
+	defer g.writerMu.Unlock()
+	return g.addValue(lit)
+}
+
+// addValue is AddValue with writerMu held.
+func (g *Graph) addValue(lit string) NodeID {
+	if n, ok := g.dir.valByLit[lit]; ok {
 		return n
 	}
-	n := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes, node{kind: ValueKind, label: lit})
-	g.out = append(g.out, nil)
-	g.in = append(g.in, nil)
-	g.valByLit[lit] = n
+	n := g.allocNode(node{kind: ValueKind, label: lit})
+	g.dir.mu.Lock()
+	g.dir.valByLit[lit] = n
+	g.dir.mu.Unlock()
 	return n
 }
 
 // AddTriple records the triple (s, p, o). The subject must be an entity
 // node. Duplicate triples are ignored.
 func (g *Graph) AddTriple(s NodeID, pred string, o NodeID) error {
+	g.writerMu.Lock()
+	defer g.writerMu.Unlock()
+	return g.addTriple(s, pred, o)
+}
+
+// addTriple is AddTriple with writerMu held.
+func (g *Graph) addTriple(s NodeID, pred string, o NodeID) error {
 	if !g.valid(s) || !g.valid(o) {
 		return fmt.Errorf("graph: AddTriple with unknown node (s=%d, o=%d)", s, o)
 	}
-	if g.nodes[s].kind != EntityKind {
-		return fmt.Errorf("graph: triple subject %q is a value, not an entity", g.nodes[s].label)
+	ssh, osh := g.shardOf(s), g.shardOf(o)
+	snd := ssh.nodes[localIndex(s)]
+	if snd.kind != EntityKind || snd.dead {
+		return fmt.Errorf("graph: triple subject %q is not a live entity", snd.label)
 	}
-	p := PredID(g.preds.Intern(pred))
+	g.dir.mu.Lock()
+	p := PredID(g.dir.preds.Intern(pred))
+	g.dir.mu.Unlock()
 	k := tripleKey{s, p, o}
-	if _, dup := g.triples[k]; dup {
+	if _, dup := ssh.triples[k]; dup {
 		return nil
 	}
-	g.triples[k] = struct{}{}
-	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
-	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
-	g.valIndex.add(p, o, s, g.nodes[o].kind)
-	g.nTrip++
+	okind := osh.nodes[localIndex(o)].kind
+	ssh.mu.Lock()
+	ssh.triples[k] = struct{}{}
+	ssh.out[localIndex(s)] = append(ssh.out[localIndex(s)], Edge{Pred: p, To: o})
+	ssh.mu.Unlock()
+	osh.mu.Lock()
+	osh.in[localIndex(o)] = append(osh.in[localIndex(o)], Edge{Pred: p, To: s})
+	if okind == ValueKind {
+		postInsert(osh, p, o, s)
+	}
+	osh.mu.Unlock()
+	g.nTrip.Add(1)
 	return nil
 }
 
@@ -189,7 +246,9 @@ func (g *Graph) AddTriple(s NodeID, pred string, o NodeID) error {
 // whether it was. Nodes are never removed: an entity or value left
 // without edges stays in the graph (and keeps its dense NodeID).
 func (g *Graph) RemoveTriple(s NodeID, pred string, o NodeID) bool {
-	pid, ok := g.preds.Lookup(pred)
+	g.dir.mu.RLock()
+	pid, ok := g.dir.preds.Lookup(pred)
+	g.dir.mu.RUnlock()
 	if !ok {
 		return false
 	}
@@ -198,16 +257,71 @@ func (g *Graph) RemoveTriple(s NodeID, pred string, o NodeID) bool {
 
 // RemoveTripleID is RemoveTriple with the predicate already resolved.
 func (g *Graph) RemoveTripleID(s NodeID, p PredID, o NodeID) bool {
+	g.writerMu.Lock()
+	defer g.writerMu.Unlock()
+	return g.removeTripleID(s, p, o)
+}
+
+// removeTripleID is RemoveTripleID with writerMu held.
+func (g *Graph) removeTripleID(s NodeID, p PredID, o NodeID) bool {
+	ssh := g.shardOf(s)
 	k := tripleKey{s, p, o}
-	if _, ok := g.triples[k]; !ok {
+	if _, ok := ssh.triples[k]; !ok {
 		return false
 	}
-	delete(g.triples, k)
-	g.out[s] = removeOne(g.out[s], Edge{Pred: p, To: o})
-	g.in[o] = removeOne(g.in[o], Edge{Pred: p, To: s})
-	g.valIndex.remove(p, o, s, g.nodes[o].kind)
-	g.nTrip--
+	ssh.mu.Lock()
+	delete(ssh.triples, k)
+	ssh.out[localIndex(s)] = removeOne(ssh.out[localIndex(s)], Edge{Pred: p, To: o})
+	ssh.mu.Unlock()
+	osh := g.shardOf(o)
+	okind := osh.nodes[localIndex(o)].kind
+	osh.mu.Lock()
+	osh.in[localIndex(o)] = removeOne(osh.in[localIndex(o)], Edge{Pred: p, To: s})
+	if okind == ValueKind {
+		postRemove(osh, p, o, s)
+	}
+	osh.mu.Unlock()
+	g.nTrip.Add(-1)
 	return true
+}
+
+// removeEntity tombstones the entity with the given external ID after
+// removing its incident triples. It returns the node, the triples
+// actually removed (in out-edge then in-edge order), and whether the
+// entity existed. Caller holds writerMu.
+func (g *Graph) removeEntity(id string) (NodeID, []Triple, bool) {
+	n, ok := g.dir.entByID[id]
+	if !ok {
+		return NoNode, nil, false
+	}
+	sh := g.shardOf(n)
+	l := localIndex(n)
+	var incident []Triple
+	for _, e := range sh.out[l] {
+		incident = append(incident, Triple{S: n, P: e.Pred, O: e.To})
+	}
+	for _, e := range sh.in[l] {
+		incident = append(incident, Triple{S: e.To, P: e.Pred, O: n})
+	}
+	removed := incident[:0]
+	for _, tr := range incident {
+		// A self-loop (n, p, n) appears in both out and in; the second
+		// removal reports false and is skipped.
+		if g.removeTripleID(tr.S, tr.P, tr.O) {
+			removed = append(removed, tr)
+		}
+	}
+	t := sh.nodes[l].typ
+	sh.mu.Lock()
+	sh.nodes[l].dead = true
+	sh.mu.Unlock()
+	g.dir.mu.Lock()
+	delete(g.dir.entByID, id)
+	if int(t) < len(g.dir.byType) {
+		g.dir.byType[t] = removeOne(g.dir.byType[t], n)
+	}
+	g.dir.mu.Unlock()
+	return n, removed, true
 }
 
 // removeOne returns the slice without the first occurrence of x,
@@ -235,101 +349,179 @@ func (g *Graph) MustAddTriple(s NodeID, pred string, o NodeID) {
 	}
 }
 
-func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.nodes) }
+func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < int(g.nNodes.Load()) }
 
-// IsEntity reports whether n is an entity node.
-func (g *Graph) IsEntity(n NodeID) bool { return g.valid(n) && g.nodes[n].kind == EntityKind }
+// IsEntity reports whether n is a live entity node.
+func (g *Graph) IsEntity(n NodeID) bool {
+	if !g.valid(n) {
+		return false
+	}
+	nd := g.nodeView(n)
+	return nd.kind == EntityKind && !nd.dead
+}
 
 // IsValue reports whether n is a value node.
-func (g *Graph) IsValue(n NodeID) bool { return g.valid(n) && g.nodes[n].kind == ValueKind }
+func (g *Graph) IsValue(n NodeID) bool {
+	return g.valid(n) && g.nodeView(n).kind == ValueKind
+}
 
-// TypeOf returns the type of entity n. It panics if n is not an entity.
+// EntityType returns the type of n if n is a live entity, in one
+// shard-lock round trip — the hot-path combination of IsEntity and
+// TypeOf (neighborhood scans classify every node they visit).
+func (g *Graph) EntityType(n NodeID) (TypeID, bool) {
+	if !g.valid(n) {
+		return 0, false
+	}
+	nd := g.nodeView(n)
+	if nd.kind != EntityKind || nd.dead {
+		return 0, false
+	}
+	return nd.typ, true
+}
+
+// TypeOf returns the type of entity n. It panics if n is not a live
+// entity.
 func (g *Graph) TypeOf(n NodeID) TypeID {
-	if !g.IsEntity(n) {
+	if !g.valid(n) {
 		panic(fmt.Sprintf("graph: TypeOf(%d) on non-entity", n))
 	}
-	return g.nodes[n].typ
+	nd := g.nodeView(n)
+	if nd.kind != EntityKind || nd.dead {
+		panic(fmt.Sprintf("graph: TypeOf(%d) on non-entity", n))
+	}
+	return nd.typ
 }
 
 // Label returns the external entity ID of an entity node, or the literal
-// of a value node.
-func (g *Graph) Label(n NodeID) string { return g.nodes[n].label }
+// of a value node. Tombstoned entities keep their label.
+func (g *Graph) Label(n NodeID) string { return g.nodeView(n).label }
 
 // TypeName returns the name of the given type.
-func (g *Graph) TypeName(t TypeID) string { return g.types.Name(int32(t)) }
+func (g *Graph) TypeName(t TypeID) string {
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	return g.dir.types.Name(int32(t))
+}
 
 // TypeByName returns the TypeID for a type name, if any entity of that
 // type exists.
 func (g *Graph) TypeByName(name string) (TypeID, bool) {
-	id, ok := g.types.Lookup(name)
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	id, ok := g.dir.types.Lookup(name)
 	return TypeID(id), ok
 }
 
 // NumTypes reports the number of distinct entity types.
-func (g *Graph) NumTypes() int { return g.types.Len() }
+func (g *Graph) NumTypes() int {
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	return g.dir.types.Len()
+}
 
 // PredName returns the name of the given predicate.
-func (g *Graph) PredName(p PredID) string { return g.preds.Name(int32(p)) }
+func (g *Graph) PredName(p PredID) string {
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	return g.dir.preds.Name(int32(p))
+}
 
 // PredByName returns the PredID for a predicate name, if it occurs in G.
 func (g *Graph) PredByName(name string) (PredID, bool) {
-	id, ok := g.preds.Lookup(name)
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	id, ok := g.dir.preds.Lookup(name)
 	return PredID(id), ok
 }
 
 // NumPreds reports the number of distinct predicates.
-func (g *Graph) NumPreds() int { return g.preds.Len() }
+func (g *Graph) NumPreds() int {
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	return g.dir.preds.Len()
+}
 
 // Entity returns the node for the entity with the given external ID.
 func (g *Graph) Entity(id string) (NodeID, bool) {
-	n, ok := g.entByID[id]
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	n, ok := g.dir.entByID[id]
 	return n, ok
 }
 
 // Value returns the node for the given literal, if present.
 func (g *Graph) Value(lit string) (NodeID, bool) {
-	n, ok := g.valByLit[lit]
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	n, ok := g.dir.valByLit[lit]
 	return n, ok
 }
 
-// EntitiesOfType returns all entity nodes with type t. The returned slice
-// is owned by the graph and must not be modified.
+// EntitiesOfType returns all live entity nodes with type t. The
+// returned slice is owned by the graph and must not be modified; it is
+// never mutated in place, so it stays a valid snapshot across later
+// mutations.
 func (g *Graph) EntitiesOfType(t TypeID) []NodeID {
-	if int(t) >= len(g.byType) {
+	g.dir.mu.RLock()
+	defer g.dir.mu.RUnlock()
+	if int(t) >= len(g.dir.byType) {
 		return nil
 	}
-	return g.byType[t]
+	return g.dir.byType[t]
 }
 
 // Out returns the out-edges of n: for each stored triple (n, p, o) an
 // Edge{p, o}. The slice is owned by the graph and must not be modified;
 // it is never mutated in place, so a slice obtained before a
 // RemoveTriple keeps its pre-removal contents.
-func (g *Graph) Out(n NodeID) []Edge { return g.out[n] }
+func (g *Graph) Out(n NodeID) []Edge {
+	sh := g.shardOf(n)
+	sh.mu.RLock()
+	e := sh.out[localIndex(n)]
+	sh.mu.RUnlock()
+	return e
+}
 
 // In returns the in-edges of n: for each stored triple (s, p, n) an
 // Edge{p, s}. The slice is owned by the graph and must not be modified;
 // it is never mutated in place, so a slice obtained before a
 // RemoveTriple keeps its pre-removal contents.
-func (g *Graph) In(n NodeID) []Edge { return g.in[n] }
+func (g *Graph) In(n NodeID) []Edge {
+	sh := g.shardOf(n)
+	sh.mu.RLock()
+	e := sh.in[localIndex(n)]
+	sh.mu.RUnlock()
+	return e
+}
 
 // HasTriple reports whether the triple (s, p, o) is in G.
 func (g *Graph) HasTriple(s NodeID, p PredID, o NodeID) bool {
-	_, ok := g.triples[tripleKey{s, p, o}]
+	sh := g.shardOf(s)
+	sh.mu.RLock()
+	_, ok := sh.triples[tripleKey{s, p, o}]
+	sh.mu.RUnlock()
 	return ok
 }
 
 // Degree returns the undirected degree of n (out plus in edges).
-func (g *Graph) Degree(n NodeID) int { return len(g.out[n]) + len(g.in[n]) }
+func (g *Graph) Degree(n NodeID) int {
+	sh := g.shardOf(n)
+	l := localIndex(n)
+	sh.mu.RLock()
+	d := len(sh.out[l]) + len(sh.in[l])
+	sh.mu.RUnlock()
+	return d
+}
 
 // Nodes returns the range of valid node IDs as [0, NumNodes).
 // It exists for documentation; callers typically loop over NumNodes.
-func (g *Graph) Nodes() int { return len(g.nodes) }
+func (g *Graph) Nodes() int { return g.NumNodes() }
 
-// EachEntity calls fn for every entity node.
+// EachEntity calls fn for every live entity node, in ID order.
 func (g *Graph) EachEntity(fn func(NodeID)) {
-	for i, nd := range g.nodes {
-		if nd.kind == EntityKind {
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		if g.IsEntity(NodeID(i)) {
 			fn(NodeID(i))
 		}
 	}
@@ -338,16 +530,18 @@ func (g *Graph) EachEntity(fn func(NodeID)) {
 // EachTriple calls fn for every triple (s, p, o) in G, in unspecified
 // order.
 func (g *Graph) EachTriple(fn func(s NodeID, p PredID, o NodeID)) {
-	for s, edges := range g.out {
-		for _, e := range edges {
-			fn(NodeID(s), e.Pred, e.To)
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		s := NodeID(i)
+		for _, e := range g.Out(s) {
+			fn(s, e.Pred, e.To)
 		}
 	}
 }
 
 // Triples materializes every triple of G, in unspecified order.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, 0, g.nTrip)
+	out := make([]Triple, 0, g.NumTriples())
 	g.EachTriple(func(s NodeID, p PredID, o NodeID) {
 		out = append(out, Triple{S: s, P: p, O: o})
 	})

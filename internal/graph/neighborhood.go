@@ -106,13 +106,14 @@ func (g *Graph) Neighborhood(e NodeID, d int) *NodeSet {
 	for hop := 0; hop < d && len(frontier) > 0; hop++ {
 		var next []NodeID
 		for _, n := range frontier {
-			for _, edge := range g.out[n] {
+			out, in := g.edges(n)
+			for _, edge := range out {
 				if !set.Contains(edge.To) {
 					set.Add(edge.To)
 					next = append(next, edge.To)
 				}
 			}
-			for _, edge := range g.in[n] {
+			for _, edge := range in {
 				if !set.Contains(edge.To) {
 					set.Add(edge.To)
 					next = append(next, edge.To)
@@ -129,11 +130,11 @@ func (g *Graph) Neighborhood(e NodeID, d int) *NodeSet {
 // experiments.
 func (g *Graph) TriplesWithin(set *NodeSet) int {
 	if set == nil {
-		return g.nTrip
+		return g.NumTriples()
 	}
 	n := 0
 	set.Each(func(s NodeID) {
-		for _, e := range g.out[s] {
+		for _, e := range g.Out(s) {
 			if set.Contains(e.To) {
 				n++
 			}

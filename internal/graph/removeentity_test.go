@@ -1,0 +1,145 @@
+package graph
+
+import "testing"
+
+// removalFixture builds: a --knows--> b, b --knows--> c, a/b/c with a
+// name attribute, and a self-loop on b.
+func removalFixture(t *testing.T) (*Graph, NodeID, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	a := g.MustAddEntity("a", "person")
+	b := g.MustAddEntity("b", "person")
+	c := g.MustAddEntity("c", "person")
+	for _, id := range []NodeID{a, b, c} {
+		g.MustAddTriple(id, "name", g.AddValue("n"+g.Label(id)))
+	}
+	g.MustAddTriple(a, "knows", b)
+	g.MustAddTriple(b, "knows", c)
+	g.MustAddTriple(b, "self", b)
+	return g, a, b, c
+}
+
+func TestRemoveEntityExpandsToIncidentTriples(t *testing.T) {
+	g, a, b, c := removalFixture(t)
+	before := g.NumTriples() // 3 names + 2 knows + 1 self = 6
+	res, err := g.ApplyDelta((&Delta{}).RemoveEntity("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RemovedEntities) != 1 || res.RemovedEntities[0] != b {
+		t.Fatalf("RemovedEntities = %v, want [%d]", res.RemovedEntities, b)
+	}
+	// b's incident triples: name, out-knows to c, in-knows from a, self.
+	if len(res.RemovedTriples) != 4 {
+		t.Fatalf("RemovedTriples = %v, want 4 triples", res.RemovedTriples)
+	}
+	if got := g.NumTriples(); got != before-4 {
+		t.Fatalf("NumTriples = %d, want %d", got, before-4)
+	}
+	if g.IsEntity(b) || g.IsValue(b) {
+		t.Fatal("tombstoned node still reports a kind")
+	}
+	if g.Label(b) != "b" {
+		t.Fatalf("tombstone lost its label: %q", g.Label(b))
+	}
+	if _, ok := g.Entity("b"); ok {
+		t.Fatal("removed entity still resolvable by ID")
+	}
+	if g.Degree(b) != 0 {
+		t.Fatalf("tombstone has degree %d", g.Degree(b))
+	}
+	tid, _ := g.TypeByName("person")
+	if got := len(g.EntitiesOfType(tid)); got != 2 {
+		t.Fatalf("EntitiesOfType = %d entities, want 2", got)
+	}
+	if g.NumEntities() != 2 {
+		t.Fatalf("NumEntities = %d, want 2", g.NumEntities())
+	}
+	// a and c survive with their remaining edges.
+	if len(g.Out(a)) != 1 || len(g.In(c)) != 0 {
+		t.Fatalf("survivor adjacency wrong: out(a)=%v in(c)=%v", g.Out(a), g.In(c))
+	}
+	// Value index no longer lists b under its name value.
+	pid, _ := g.PredByName("name")
+	if v, ok := g.Value("nb"); !ok {
+		t.Fatal("value node for nb vanished")
+	} else if got := g.ValueSubjects(pid, v); len(got) != 0 {
+		t.Fatalf("posting list for removed entity's value = %v, want empty", got)
+	}
+}
+
+func TestRemoveEntityIdempotentAndUnknown(t *testing.T) {
+	g, _, _, _ := removalFixture(t)
+	res, err := g.ApplyDelta((&Delta{}).RemoveEntity("nobody"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty() {
+		t.Fatalf("removing unknown entity reported changes: %+v", res)
+	}
+	if _, err := g.ApplyDelta((&Delta{}).RemoveEntity("b").RemoveEntity("b")); err != nil {
+		t.Fatalf("double removal errored: %v", err)
+	}
+}
+
+func TestRemoveEntityThenReAdd(t *testing.T) {
+	g, _, b, _ := removalFixture(t)
+	d := (&Delta{}).RemoveEntity("b")
+	d.AddEntity("b", "robot") // new type is fine: it is a fresh node
+	d.AddValueTriple("b", "name", "nb2")
+	res, err := g.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, ok := g.Entity("b")
+	if !ok {
+		t.Fatal("re-added entity not resolvable")
+	}
+	if nb == b {
+		t.Fatal("tombstoned NodeID was reused")
+	}
+	if g.TypeName(g.TypeOf(nb)) != "robot" {
+		t.Fatalf("re-added entity has type %q", g.TypeName(g.TypeOf(nb)))
+	}
+	if len(res.AddedEntities) != 1 || len(res.RemovedEntities) != 1 {
+		t.Fatalf("delta result %+v", res)
+	}
+}
+
+func TestRemoveEntityValidation(t *testing.T) {
+	g, _, _, _ := removalFixture(t)
+	// Referencing an entity after its removal in the same delta fails,
+	// and the graph stays unchanged (atomicity).
+	before := g.NumTriples()
+	d := (&Delta{}).RemoveEntity("b").AddValueTriple("b", "name", "zz")
+	if _, err := g.ApplyDelta(d); err == nil {
+		t.Fatal("want validation error for triple on removed entity")
+	}
+	if g.NumTriples() != before {
+		t.Fatal("failed delta mutated the graph")
+	}
+	if _, ok := g.Entity("b"); !ok {
+		t.Fatal("failed delta removed the entity")
+	}
+	// Remove, re-add, then reference: valid.
+	d2 := (&Delta{}).RemoveEntity("b").AddEntity("b", "person").AddValueTriple("b", "name", "zz")
+	if _, err := g.ApplyDelta(d2); err != nil {
+		t.Fatalf("remove+re-add+use: %v", err)
+	}
+}
+
+func TestAddTripleOnTombstoneFails(t *testing.T) {
+	g, a, b, _ := removalFixture(t)
+	if _, err := g.ApplyDelta((&Delta{}).RemoveEntity("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTriple(b, "knows", a); err == nil {
+		t.Fatal("AddTriple with tombstoned subject succeeded")
+	}
+	if err := g.AddTriple(a, "knows", b); err != nil {
+		// Dangling references to a tombstone as object are permitted at
+		// the graph layer (the node exists); the Delta layer prevents
+		// them by ID since the directory entry is gone.
+		t.Fatalf("AddTriple to tombstoned object: %v", err)
+	}
+}

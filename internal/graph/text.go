@@ -84,7 +84,7 @@ func parseEntityToken(g *Graph, tok string) (NodeID, error) {
 // deterministic and diffable.
 func (g *Graph) WriteText(w io.Writer) error {
 	type row struct{ s, p, o string }
-	rows := make([]row, 0, g.nTrip)
+	rows := make([]row, 0, g.NumTriples())
 	g.EachTriple(func(s NodeID, p PredID, o NodeID) {
 		rows = append(rows, row{g.entityToken(s), g.PredName(p), g.objectToken(o)})
 	})

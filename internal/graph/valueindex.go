@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // This file implements the persistent inverted value index: for every
 // (predicate, value node) pair, the posting list of subject entities s
 // with a triple (s, p, v) in G. Because equal literals are interned to
@@ -11,9 +13,13 @@ package graph
 //
 // The index is maintained incrementally inside AddTriple and
 // RemoveTripleID (and therefore under ApplyDelta, which mutates
-// through them); it is never rebuilt. Posting lists are append-only
-// per slice: removal copies (see removeOne), so a list handed out by
-// ValueSubjects stays valid across later mutations.
+// through them); it is never rebuilt. Posting lists are sharded with
+// their value node (the list for (p, v) lives in v's shard, guarded by
+// that shard's lock) and kept sorted by subject NodeID, so candidate
+// generation intersects and unions them with merge-joins instead of
+// hash probes. A list is never mutated in place — insertion in the
+// middle and removal both copy — so a list handed out by ValueSubjects
+// stays valid across later mutations.
 
 // postKey identifies one posting list: a predicate plus the value node
 // it points at.
@@ -22,58 +28,82 @@ type postKey struct {
 	v NodeID
 }
 
-// valueIndex maps (predicate, value node) to the subjects carrying
-// that attribute, in insertion order.
-type valueIndex struct {
-	post map[postKey][]NodeID
-}
-
-func newValueIndex() valueIndex {
-	return valueIndex{post: make(map[postKey][]NodeID)}
-}
-
-// add records (s, p, v) if v is a value node. The caller (AddTriple)
-// has already deduplicated the triple, so s appears at most once per
-// posting list.
-func (ix *valueIndex) add(p PredID, v, s NodeID, kind Kind) {
-	if kind != ValueKind {
+// postInsert records subject s in the posting list of (p, v), keeping
+// the list sorted by NodeID. The caller (addTriple) has already
+// deduplicated the triple and holds the shard lock of v.
+func postInsert(sh *shard, p PredID, v, s NodeID) {
+	k := postKey{p, v}
+	ps := sh.post[k]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] >= s })
+	if i == len(ps) {
+		// Append fast path: in-place growth is safe, handed-out slices
+		// never see past their length.
+		sh.post[k] = append(ps, s)
 		return
 	}
-	k := postKey{p, v}
-	ix.post[k] = append(ix.post[k], s)
+	grown := make([]NodeID, 0, len(ps)+1)
+	grown = append(grown, ps[:i]...)
+	grown = append(grown, s)
+	sh.post[k] = append(grown, ps[i:]...)
 }
 
-// remove erases (s, p, v) from the index if v is a value node.
-func (ix *valueIndex) remove(p PredID, v, s NodeID, kind Kind) {
-	if kind != ValueKind {
-		return
-	}
+// postRemove erases s from the posting list of (p, v). The caller
+// holds the shard lock of v.
+func postRemove(sh *shard, p PredID, v, s NodeID) {
 	k := postKey{p, v}
-	ps := removeOne(ix.post[k], s)
+	ps := removeOne(sh.post[k], s)
 	if len(ps) == 0 {
-		delete(ix.post, k)
+		delete(sh.post, k)
 	} else {
-		ix.post[k] = ps
+		sh.post[k] = ps
 	}
 }
 
 // ValueSubjects returns the posting list for (p, v): every subject
-// entity s with the triple (s, p, v), where v is a value node, in
-// insertion order. The slice is owned by the graph and must not be
-// modified; it is never mutated in place, so a list obtained before a
+// entity s with the triple (s, p, v), where v is a value node, sorted
+// by NodeID. The slice is owned by the graph and must not be modified;
+// it is never mutated in place, so a list obtained before a
 // RemoveTriple keeps its pre-removal contents.
 func (g *Graph) ValueSubjects(p PredID, v NodeID) []NodeID {
-	return g.valIndex.post[postKey{p, v}]
+	sh := g.shardOf(v)
+	sh.mu.RLock()
+	ps := sh.post[postKey{p, v}]
+	sh.mu.RUnlock()
+	return ps
 }
 
 // EachValuePosting calls fn once per non-empty posting list, in
-// unspecified order. The subjects slice is owned by the graph.
+// unspecified order. The subjects slice is owned by the graph. Each
+// shard's lists are collected under that shard's read lock and emitted
+// after it is released, so fn may call back into the graph.
 func (g *Graph) EachValuePosting(fn func(p PredID, v NodeID, subjects []NodeID)) {
-	for k, ps := range g.valIndex.post {
-		fn(k.p, k.v, ps)
+	type posting struct {
+		k  postKey
+		ps []NodeID
+	}
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		batch := make([]posting, 0, len(sh.post))
+		for k, ps := range sh.post {
+			batch = append(batch, posting{k, ps})
+		}
+		sh.mu.RUnlock()
+		for _, b := range batch {
+			fn(b.k.p, b.k.v, b.ps)
+		}
 	}
 }
 
 // NumPostings reports the number of non-empty posting lists — the
 // number of distinct (predicate, value) attributes in G.
-func (g *Graph) NumPostings() int { return len(g.valIndex.post) }
+func (g *Graph) NumPostings() int {
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.post)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -35,6 +35,7 @@ package inc
 
 import (
 	"graphkeys/internal/chase"
+	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
 	"graphkeys/internal/keys"
@@ -217,16 +218,16 @@ func (e *Engine) Apply(d *graph.Delta) (added, removed []eqrel.Pair, err error) 
 	// (match.ValuePartners: inverted-value-index lookups on indexable
 	// types, all same-type entities otherwise) is complete (up to the
 	// worklist expansion below).
-	work := newWorklist()
+	work := engine.NewWorklist[eqrel.Pair]()
 	for _, pr := range suspects {
-		work.push(pr)
+		work.Push(pr)
 	}
 	if len(res.AddedTriples) > 0 || len(res.AddedEntities) > 0 {
 		region := e.affectedEntities(res)
 		e.stats.Region = len(region)
 		for _, p := range region {
 			for _, q := range e.m.ValuePartners(p) {
-				work.push(eqrel.MakePair(int32(p), int32(q)))
+				work.Push(eqrel.MakePair(int32(p), int32(q)))
 			}
 		}
 	}
@@ -302,17 +303,19 @@ func (e *Engine) depNeighborhood(n graph.NodeID) *graph.NodeSet {
 // that depend on the merged classes through recursive keys, so repair
 // follows dependency chains arbitrarily far from the mutation without
 // ever sweeping the full candidate set.
-func (e *Engine) chaseWorklist(w *worklist) {
+func (e *Engine) chaseWorklist(w *engine.Worklist[eqrel.Pair]) {
 	members := e.classMembers()
-	for i := 0; i < len(w.queue); i++ {
-		pr := w.queue[i]
-		delete(w.inQ, pr)
+	for {
+		pr, ok := w.Pop()
+		if !ok {
+			break
+		}
 		if e.eq.Same(pr.A, pr.B) {
 			continue
 		}
-		ok, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B))
+		got, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B))
 		e.stats.Checked++
-		if !ok {
+		if !got {
 			continue
 		}
 		// Dependent pairs are computed from the classes as they are
@@ -337,7 +340,7 @@ func (e *Engine) chaseWorklist(w *worklist) {
 		}
 		for _, dp := range dep {
 			if !e.eq.Same(dp.A, dp.B) {
-				w.push(dp)
+				w.Push(dp)
 			}
 		}
 	}
@@ -347,8 +350,13 @@ func (e *Engine) chaseWorklist(w *worklist) {
 // lazy matcher: first identifying key wins. The Eq-independent quick
 // pairing filter (§4.2) runs first so that the d-neighborhoods — the
 // expensive part on the incremental path — are only computed for pairs
-// that pass the x-local necessary condition.
+// that pass the x-local necessary condition. Suspect pairs may involve
+// entities tombstoned by the delta (their class is tainted by the
+// removal of their incident triples); those can never re-derive.
 func (e *Engine) identify(e1, e2 graph.NodeID) (ok bool, key string, reqs []eqrel.Pair, uses []graph.Triple) {
+	if !e.g.IsEntity(e1) || !e.g.IsEntity(e2) {
+		return false, "", nil, nil
+	}
 	t := e.g.TypeOf(e1)
 	if e.g.TypeOf(e2) != t {
 		return false, "", nil, nil
@@ -474,24 +482,4 @@ func diffPairs(old, cur []eqrel.Pair) (added, removed []eqrel.Pair) {
 	removed = append(removed, old[i:]...)
 	added = append(added, cur[j:]...)
 	return added, removed
-}
-
-// worklist is a FIFO of candidate pairs with membership dedup; a pair
-// may be re-enqueued after it has been processed (when a later union
-// makes it newly checkable) but is never queued twice concurrently.
-type worklist struct {
-	queue []eqrel.Pair
-	inQ   map[eqrel.Pair]bool
-}
-
-func newWorklist() *worklist {
-	return &worklist{inQ: make(map[eqrel.Pair]bool)}
-}
-
-func (w *worklist) push(p eqrel.Pair) {
-	if w.inQ[p] {
-		return
-	}
-	w.inQ[p] = true
-	w.queue = append(w.queue, p)
 }

@@ -3,6 +3,7 @@ package match
 import (
 	"sort"
 
+	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
 )
@@ -78,13 +79,23 @@ func (m *Matcher) hasMatchableKey(t graph.TypeID) bool {
 // literals are one interned node) and every matchable key on t must
 // carry a value anchor. A single anchor-free (purely entity-variable)
 // key forces the full sweep, since its witnesses need not share any
-// value node.
+// value node. For radius-1 types the anchors must additionally hang
+// off x itself (they always do when the pattern radius is <= 1 —
+// values are never subjects, so a value two pattern hops from x would
+// make the radius 2 — but the compiler records the property rather
+// than assuming it).
 func (m *Matcher) IndexableType(t graph.TypeID) bool {
 	if m.Opts.ValueEq != nil {
 		return false
 	}
 	for _, ck := range m.byType[t] {
-		if ck.Matchable() && !ck.HasValueAnchor() {
+		if !ck.Matchable() {
+			continue
+		}
+		if !ck.HasValueAnchor() {
+			return false
+		}
+		if m.dByType[t] <= 1 && (len(ck.xAnchors) == 0 || ck.nonXAnchor) {
 			return false
 		}
 	}
@@ -114,7 +125,7 @@ func (m *Matcher) CandidatesIndexed() []eqrel.Pair {
 			continue
 		}
 		if m.dByType[t] <= 1 {
-			out = m.appendIndexedRadius1(out, t, seen)
+			out = m.appendIndexedRadius1(out, t)
 		} else {
 			out = m.appendIndexedRadiusD(out, t, seen)
 		}
@@ -125,30 +136,127 @@ func (m *Matcher) CandidatesIndexed() []eqrel.Pair {
 
 // appendIndexedRadius1 generates candidates for a radius-1 type. With
 // d = 1 every value anchor is a direct object of x (values are never
-// subjects), so a witness at (e1, e2) requires out-edges (e1, p, v) and
-// (e2, p, v) to the same interned value node: candidates are joined
-// straight off the index's posting lists, with no traversal.
-func (m *Matcher) appendIndexedRadius1(out []eqrel.Pair, t graph.TypeID, seen map[eqrel.Pair]bool) []eqrel.Pair {
+// subjects), so a witness of key Q at (e1, e2) binds each anchor
+// (x, p, a) of Q to one value node shared by both sides: per key, the
+// partner set of e is the merge-join intersection, across Q's anchors,
+// of the (sorted) posting lists e can reach on that anchor's
+// predicate. Partner sets union across keys, and each unordered pair
+// is emitted once from its smaller side, so no dedup map is needed.
+func (m *Matcher) appendIndexedRadius1(out []eqrel.Pair, t graph.TypeID) []eqrel.Pair {
 	for _, e := range m.G.EntitiesOfType(t) {
-		for _, edge := range m.G.Out(e) {
-			if !m.G.IsValue(edge.To) {
+		var partners []graph.NodeID
+		for _, ck := range m.byType[t] {
+			if !ck.Matchable() {
 				continue
 			}
-			for _, q := range m.G.ValueSubjects(edge.Pred, edge.To) {
-				// Subjects are entities by construction; emit each
-				// unordered pair once, from its smaller side.
-				if q <= e || m.G.TypeOf(q) != t {
-					continue
-				}
-				pr := eqrel.MakePair(int32(e), int32(q))
-				if !seen[pr] {
-					seen[pr] = true
-					out = append(out, pr)
-				}
+			partners = mergeUnion(partners, m.radius1KeyPartners(ck, e))
+		}
+		// partners is sorted: skip ahead to the first q > e.
+		i := sort.Search(len(partners), func(i int) bool { return partners[i] > e })
+		for _, q := range partners[i:] {
+			// Posting subjects are live entities by construction
+			// (tombstoning an entity removes its incident triples, and
+			// with them its postings); only the type needs checking.
+			if m.G.TypeOf(q) == t {
+				out = append(out, eqrel.MakePair(int32(e), int32(q)))
 			}
 		}
 	}
 	return out
+}
+
+// radius1KeyPartners returns the sorted candidate partners of e for a
+// single radius-1 key: the intersection, over the key's x-incident
+// value anchors, of the subjects sharing an anchor value with e. A
+// constant anchor requires both sides to carry the constant itself, so
+// its posting list joins in directly (and e must appear in it); a
+// value-variable anchor admits any value node e reaches on the
+// anchor's predicate, so those posting lists merge-union first. An
+// empty result means no pair (e, q) can be directly identified by this
+// key.
+func (m *Matcher) radius1KeyPartners(ck *CompiledKey, e graph.NodeID) []graph.NodeID {
+	var acc []graph.NodeID
+	for ai, a := range ck.xAnchors {
+		var lst []graph.NodeID
+		if a.constID != graph.NoNode {
+			lst = m.G.ValueSubjects(a.pred, a.constID)
+			if !containsSorted(lst, e) {
+				return nil // e lacks the constant attribute itself
+			}
+		} else {
+			for _, edge := range m.G.Out(e) {
+				if edge.Pred != a.pred || !m.G.IsValue(edge.To) {
+					continue
+				}
+				lst = mergeUnion(lst, m.G.ValueSubjects(edge.Pred, edge.To))
+			}
+		}
+		if ai == 0 {
+			acc = lst
+		} else {
+			acc = mergeIntersect(acc, lst)
+		}
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// mergeUnion merge-joins two sorted NodeID lists into their sorted
+// union. It never mutates its inputs (posting lists are graph-owned);
+// when one side is empty the other is returned as is.
+func mergeUnion(a, b []graph.NodeID) []graph.NodeID {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]graph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mergeIntersect merge-joins two sorted NodeID lists into their sorted
+// intersection, without mutating either.
+func mergeIntersect(a, b []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// containsSorted reports whether x occurs in the sorted list.
+func containsSorted(xs []graph.NodeID, x graph.NodeID) bool {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= x })
+	return i < len(xs) && xs[i] == x
 }
 
 // appendIndexedRadiusD generates candidates for a type with radius
@@ -213,13 +321,17 @@ func (m *Matcher) ValuePartners(e graph.NodeID) []graph.NodeID {
 	}
 	d := m.dByType[t]
 	if d <= 1 {
-		for _, edge := range m.G.Out(e) {
-			if !m.G.IsValue(edge.To) {
+		// Same join as appendIndexedRadius1: per-key anchor
+		// intersection, unioned across keys by merge-join.
+		var partners []graph.NodeID
+		for _, ck := range m.byType[t] {
+			if !ck.Matchable() {
 				continue
 			}
-			for _, q := range m.G.ValueSubjects(edge.Pred, edge.To) {
-				add(q)
-			}
+			partners = mergeUnion(partners, m.radius1KeyPartners(ck, e))
+		}
+		for _, q := range partners {
+			add(q)
 		}
 		return out
 	}
@@ -274,55 +386,129 @@ type DependencyIndex struct {
 	recursiveOnly []bool
 }
 
-// BuildDependencyIndex analyzes the candidate list against the matcher's
-// key set.
+// depTypeInfo is the per-type metadata the dependency analysis needs,
+// hoisted out of the per-pair loop: the L0-seed flag and the entity
+// variable types of the type's recursive keys.
+type depTypeInfo struct {
+	valueSeed bool
+	depTypes  map[graph.TypeID]bool
+}
+
+func (m *Matcher) depTypeInfos() map[graph.TypeID]depTypeInfo {
+	infos := make(map[graph.TypeID]depTypeInfo, len(m.byType))
+	for t, cks := range m.byType {
+		info := depTypeInfo{
+			valueSeed: m.Set.HasValueBasedKeyForType(m.G.TypeName(t)),
+			depTypes:  make(map[graph.TypeID]bool),
+		}
+		for _, ck := range cks {
+			if !ck.Key.Recursive {
+				continue
+			}
+			for _, tn := range ck.Key.EntityVarTypes() {
+				if tid, ok := m.G.TypeByName(tn); ok {
+					info.depTypes[tid] = true
+				}
+			}
+		}
+		infos[t] = info
+	}
+	return infos
+}
+
+// BuildDependencyIndex analyzes the candidate list against the
+// matcher's key set, sequentially.
 func (m *Matcher) BuildDependencyIndex(pairs []eqrel.Pair) *DependencyIndex {
+	return m.BuildDependencyIndexParallel(pairs, 1)
+}
+
+// BuildDependencyIndexParallel is BuildDependencyIndex with the
+// neighborhood scans — the expensive part — computed once per distinct
+// entity (candidate pairs share sides heavily: n entities induce up to
+// n(n-1)/2 pairs) and fanned out across workers. A pair's dependency
+// entities are then the merge-join union of its two sides' sorted
+// contributions; the merge into the entity-keyed index runs
+// sequentially in pair order, so the dependent lists are identical to
+// the sequential build's. On a lazy matcher the scans run
+// sequentially regardless of workers: Neighborhood fills the lazy
+// cache on miss, which is not safe concurrently.
+func (m *Matcher) BuildDependencyIndexParallel(pairs []eqrel.Pair, workers int) *DependencyIndex {
+	if m.Opts.Lazy {
+		workers = 1
+	}
 	idx := &DependencyIndex{
 		pairs:         pairs,
 		dependents:    make(map[graph.NodeID][]int),
 		valueSeed:     make([]bool, len(pairs)),
 		recursiveOnly: make([]bool, len(pairs)),
 	}
-	registered := make(map[graph.NodeID]bool)
+	infos := m.depTypeInfos()
+
+	// Distinct pair sides, in first-appearance order.
+	sideIdx := make(map[graph.NodeID]int)
+	var sides []graph.NodeID
+	for _, pr := range pairs {
+		for _, n := range [2]graph.NodeID{graph.NodeID(pr.A), graph.NodeID(pr.B)} {
+			if _, ok := sideIdx[n]; !ok {
+				sideIdx[n] = len(sides)
+				sides = append(sides, n)
+			}
+		}
+	}
+
+	// Per-side contribution: the entities of a dependency type in the
+	// side's d-neighborhood, ascending (Each enumerates in ID order).
+	sideDeps := make([][]graph.NodeID, len(sides))
+	engine.Parallel(workers, len(sides), func(i int) {
+		e := sides[i]
+		info := infos[m.G.TypeOf(e)]
+		if len(info.depTypes) == 0 {
+			return
+		}
+		var deps []graph.NodeID
+		m.Neighborhood(e).Each(func(n graph.NodeID) {
+			if t, ok := m.G.EntityType(n); ok && info.depTypes[t] {
+				deps = append(deps, n)
+			}
+		})
+		sideDeps[i] = deps
+	})
+
+	var scratch []graph.NodeID
 	for i, pr := range pairs {
 		a, b := graph.NodeID(pr.A), graph.NodeID(pr.B)
-		t := m.G.TypeOf(a)
-		typeName := m.G.TypeName(t)
-		idx.valueSeed[i] = m.Set.HasValueBasedKeyForType(typeName)
-		idx.recursiveOnly[i] = !idx.valueSeed[i]
-
-		// Types of entity variables across the recursive keys on t.
-		depTypes := make(map[graph.TypeID]bool)
-		for _, ck := range m.byType[t] {
-			if !ck.Key.Recursive {
-				continue
-			}
-			for _, tn := range ck.Key.EntityVarTypes() {
-				if tid, ok := m.G.TypeByName(tn); ok {
-					depTypes[tid] = true
-				}
-			}
-		}
-		if len(depTypes) == 0 {
+		info := infos[m.G.TypeOf(a)]
+		idx.valueSeed[i] = info.valueSeed
+		idx.recursiveOnly[i] = !info.valueSeed
+		if len(info.depTypes) == 0 {
 			continue
 		}
-		// Deduplicate across the two neighborhoods with a per-pair set
-		// (reused across pairs, cleared below): an entity in both of
-		// them must register this pair only once, regardless of the
-		// order or interleaving of registrations.
-		clear(registered)
-		register := func(n graph.NodeID) {
-			if n == a || n == b || registered[n] {
-				return
+		da, db := sideDeps[sideIdx[a]], sideDeps[sideIdx[b]]
+		// Merge-join union of the two sorted sides, excluding the pair's
+		// own members: an entity in both neighborhoods registers once.
+		scratch = scratch[:0]
+		x, y := 0, 0
+		for x < len(da) || y < len(db) {
+			var n graph.NodeID
+			switch {
+			case y == len(db) || (x < len(da) && da[x] < db[y]):
+				n = da[x]
+				x++
+			case x == len(da) || db[y] < da[x]:
+				n = db[y]
+				y++
+			default:
+				n = da[x]
+				x++
+				y++
 			}
-			if !m.G.IsEntity(n) || !depTypes[m.G.TypeOf(n)] {
-				return
+			if n != a && n != b {
+				scratch = append(scratch, n)
 			}
-			registered[n] = true
+		}
+		for _, n := range scratch {
 			idx.dependents[n] = append(idx.dependents[n], i)
 		}
-		m.Neighborhood(a).Each(register)
-		m.Neighborhood(b).Each(register)
 	}
 	return idx
 }

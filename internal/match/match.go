@@ -20,8 +20,8 @@ package match
 import (
 	"fmt"
 	"sort"
-	"sync"
 
+	"graphkeys/internal/engine"
 	"graphkeys/internal/graph"
 	"graphkeys/internal/keys"
 	"graphkeys/internal/pattern"
@@ -81,6 +81,18 @@ type compiledTriple struct {
 	pred      graph.PredID
 }
 
+// xAnchor is one value-anchor requirement incident to the designated
+// variable: a pattern triple (x, pred, a) whose object a is a value
+// variable (constID == graph.NoNode) or a constant (constID is the
+// interned value node). Any witness of the key at (e1, e2) binds a to
+// one value node v with (e1, pred, v) and (e2, pred, v) in G, so both
+// sides lie in the posting list of (pred, v) — the join candidate
+// generation intersects over.
+type xAnchor struct {
+	pred    graph.PredID
+	constID graph.NodeID
+}
+
 // CompiledKey is a key compiled against a specific graph: predicate and
 // type names resolved to IDs, plus a search order over pattern nodes.
 // A key whose predicates, types or constants do not occur in the graph
@@ -102,6 +114,12 @@ type CompiledKey struct {
 
 	matchable      bool
 	hasValueAnchor bool
+	// xAnchors lists the value anchors incident to x; nonXAnchor
+	// records that some value anchor is not incident to x (possible
+	// only for keys of radius >= 2, where the anchor hangs off another
+	// pattern node).
+	xAnchors   []xAnchor
+	nonXAnchor bool
 }
 
 // Matchable reports whether the key can possibly match in the graph it
@@ -171,6 +189,13 @@ func Compile(g *graph.Graph, k *keys.Key) (*CompiledKey, error) {
 		ck.incident[t.Subj] = append(ck.incident[t.Subj], ti)
 		if t.Obj != t.Subj {
 			ck.incident[t.Obj] = append(ck.incident[t.Obj], ti)
+		}
+		if okind := ck.nodes[t.Obj].kind; okind == kValueVar || okind == kConst {
+			if t.Subj == ck.x {
+				ck.xAnchors = append(ck.xAnchors, xAnchor{pred: pid, constID: ck.nodes[t.Obj].constID})
+			} else {
+				ck.nonXAnchor = true
+			}
 		}
 	}
 	ck.buildOrder()
@@ -312,51 +337,16 @@ func New(g *graph.Graph, set *keys.Set, opts Options) (*Matcher, error) {
 	}
 	results := make([]*graph.NodeSet, len(jobs))
 	p := opts.Workers
-	if p < 2 || len(jobs) < 2*p {
-		for i, j := range jobs {
-			results[i] = g.Neighborhood(j.e, j.d)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < p; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < len(jobs); i += p {
-					results[i] = g.Neighborhood(jobs[i].e, jobs[i].d)
-				}
-			}(w)
-		}
-		wg.Wait()
+	if len(jobs) < 2*p {
+		p = 1
 	}
+	engine.Parallel(p, len(jobs), func(i int) {
+		results[i] = g.Neighborhood(jobs[i].e, jobs[i].d)
+	})
 	for i, j := range jobs {
 		m.neighborhoods[j.e] = results[i]
 	}
 	return m, nil
-}
-
-// Parallel runs fn(i) for i in [0, n) on the matcher-configured worker
-// count (falling back to sequential); it is the shared helper the
-// engine drivers use for their per-candidate precomputation (pairing
-// filters, reduced neighborhoods, product-graph tuples).
-func Parallel(workers, n int, fn func(i int)) {
-	if workers < 2 || n < 2 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				fn(i)
-			}
-		}(w)
-	}
-	wg.Wait()
 }
 
 // KeysFor returns the compiled keys defined on entities of type t.

@@ -2,6 +2,7 @@ package graphkeys
 
 import (
 	"fmt"
+	"sync"
 
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
@@ -58,6 +59,16 @@ func (d *Delta) RemoveValueTriple(subject EntityID, predicate string, value stri
 	return d
 }
 
+// RemoveEntity removes the entity with the given ID: the removal
+// expands to deleting every triple the entity participates in (as
+// subject or object) and then tombstones the node. Absent entities
+// are ignored. Later operations of the same delta may re-add the ID,
+// which creates a fresh entity.
+func (d *Delta) RemoveEntity(id EntityID) *Delta {
+	d.d.RemoveEntity(id)
+	return d
+}
+
 // Len reports the number of operations in the delta.
 func (d *Delta) Len() int { return d.d.Len() }
 
@@ -67,9 +78,19 @@ func (d *Delta) Len() int { return d.d.Len() }
 // only identifications whose proofs touch a removed triple) and d-hop
 // locality (additions re-chase only the affected region).
 //
-// After NewMatcher the graph must be mutated only through Apply.
-// A Matcher is not safe for concurrent use.
+// After NewMatcher the graph must be mutated only through Apply. A
+// Matcher is safe for concurrent use: Apply serializes against other
+// Applies and against the read methods (Same, Result, LastStats), so
+// readers always observe a graph and fixpoint from the same delta
+// boundary. Concurrent reads run in parallel — against the underlying
+// shard-partitioned graph as well, whose per-shard locks the readers
+// only touch shard-locally.
 type Matcher struct {
+	// mu serializes Apply (writer) against the fixpoint readers. Raw
+	// graph reads through Graph() need no lock to be race-free (the
+	// sharded store guarantees that), but the Matcher's own accessors
+	// take the read lock so graph and match state stay consistent.
+	mu  sync.RWMutex
 	g   *Graph
 	eng *inc.Engine
 }
@@ -97,6 +118,8 @@ func (m *Matcher) Apply(d *Delta) (added, removed []Pair, err error) {
 	if d == nil {
 		return nil, nil, nil
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	addedPairs, removedPairs, err := m.eng.Apply(&d.d)
 	if err != nil {
 		return nil, nil, err
@@ -107,12 +130,16 @@ func (m *Matcher) Apply(d *Delta) (added, removed []Pair, err error) {
 // Result materializes the current chase(G, Σ) as a Result, identical
 // to what Match would return on the current graph.
 func (m *Matcher) Result() *Result {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return buildResult(m.g, m.eng.Pairs(), Chase)
 }
 
 // Same reports whether the two entities are currently identified.
 // Unknown entities are never identified with anything.
 func (m *Matcher) Same(a, b EntityID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	na, ok := m.g.g.Entity(a)
 	if !ok {
 		return false
@@ -124,7 +151,10 @@ func (m *Matcher) Same(a, b EntityID) bool {
 	if na == nb {
 		return true
 	}
-	return m.eng.Eq().Same(int32(na), int32(nb))
+	// Eq().Same performs path compression, so it needs the exclusive
+	// view the read lock provides against Apply; concurrent Same
+	// callers share a snapshot-free non-compressing reader instead.
+	return m.eng.Eq().Reader().Same(int32(na), int32(nb))
 }
 
 // Graph returns the maintained graph. Mutate it only through Apply.
@@ -134,7 +164,11 @@ func (m *Matcher) Graph() *Graph { return m.g }
 type Stats = inc.Stats
 
 // LastStats reports the repair work done by the most recent Apply.
-func (m *Matcher) LastStats() Stats { return m.eng.LastStats() }
+func (m *Matcher) LastStats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.eng.LastStats()
+}
 
 func (m *Matcher) toMatches(pairs []eqrel.Pair) []Pair {
 	out := make([]Pair, 0, len(pairs))
