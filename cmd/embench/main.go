@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations | parallelchase")
+		exp     = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations | parallelchase | writepath")
 		quick   = flag.Bool("quick", false, "smoke-sized datasets")
 		csv     = flag.Bool("csv", false, "CSV output")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
@@ -77,6 +77,31 @@ func main() {
 				pcfg.Scale = 4.0
 			}
 			t, rep, err := bench.ParallelChaseExp(bench.SyntheticDS, pcfg, []int{2, 4, 8}, true)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonOut != "" {
+				data, err := rep.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "embench: wrote %s\n", *jsonOut)
+			}
+			return t, nil
+		}},
+		{"writepath", func() (*bench.Table, error) {
+			// The write-throughput experiment: a stream of independent
+			// small deltas, per-delta Apply vs batched concurrent
+			// ApplyBatch at 1/2/4 writers.
+			wcfg := cfg
+			nDeltas, batch := 256, 32
+			if *quick {
+				nDeltas, batch = 64, 16
+			}
+			t, rep, err := bench.WritePathExp(bench.SyntheticDS, wcfg, []int{1, 2, 4}, nDeltas, batch)
 			if err != nil {
 				return nil, err
 			}

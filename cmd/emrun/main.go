@@ -15,9 +15,17 @@
 // time and the match churn, against the one-off cost of the initial
 // full chase. -verify re-runs the full chase after every delta and
 // fails on divergence.
+//
+// With -wal DIR the matcher is durable: it opens (or creates) the
+// write-ahead log in DIR, seeds it from the graph file when fresh, and
+// logs every applied delta; -snapshot compacts the log on exit. With
+// -replay DIR emrun reconstructs the matcher purely from DIR (no graph
+// file needed) and prints the recovered pairs — pass -graph too to
+// verify the reconstruction against a reference graph file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -44,22 +52,21 @@ func main() {
 		deltaFrac   = flag.Float64("delta", 0.01, "incremental: fraction of triples mutated per delta")
 		mutSeed     = flag.Int64("mutseed", 1, "incremental: mutation RNG seed")
 		verify      = flag.Bool("verify", false, "incremental: check every delta against a full re-chase")
+
+		walDir    = flag.String("wal", "", "durable matcher: write-ahead log directory")
+		replayDir = flag.String("replay", "", "reconstruct the matcher from this WAL directory and print its pairs")
+		fsync     = flag.Bool("fsync", true, "wal/replay: fsync every WAL record")
+		snapshot  = flag.Bool("snapshot", false, "wal: write a snapshot (compact the log) before exiting")
 	)
 	flag.Parse()
-	if *graphPath == "" || *keysPath == "" {
+	// A graph file is needed except when reconstructing from a WAL:
+	// -replay never reads it, and -wal only reads it when the log is
+	// fresh (openDurable errors then if none was given).
+	if *keysPath == "" || (*graphPath == "" && *replayDir == "" && *walDir == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	gf, err := os.Open(*graphPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := graphkeys.LoadGraph(gf)
-	gf.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
 	kf, err := os.Open(*keysPath)
 	if err != nil {
 		log.Fatal(err)
@@ -69,6 +76,59 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	durOpts := graphkeys.Options{Workers: *p, Durability: graphkeys.DurabilityAppend}
+	if *fsync {
+		durOpts.Durability = graphkeys.DurabilityFsync
+	}
+
+	if *replayDir != "" {
+		runReplay(*replayDir, *graphPath, ks, durOpts, *classes)
+		return
+	}
+
+	loadGraph := func() *graphkeys.Graph {
+		if *graphPath == "" {
+			log.Fatal("emrun: the WAL directory is fresh; -graph is required to seed it")
+		}
+		gf, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer gf.Close()
+		g, err := graphkeys.LoadGraph(gf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+
+	if *walDir != "" {
+		// Durable path: open the WAL first — on resume the graph file
+		// is ignored, so it is only parsed when the log is fresh.
+		m, err := openDurable(*walDir, loadGraph, ks, durOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "emrun: matcher ready: %d triples, %d pairs\n",
+			m.Graph().NumTriples(), len(m.Result().Matches))
+		if *incremental {
+			runIncremental(m, ks, *rounds, *deltaFrac, *mutSeed, *verify, *p)
+		} else {
+			printResult(m.Result(), *classes)
+		}
+		if *snapshot {
+			if err := m.Snapshot(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "emrun: snapshot written to %s\n", *walDir)
+		}
+		if err := m.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	g := loadGraph()
 
 	engines := map[string]graphkeys.Engine{
 		"chase":         graphkeys.Chase,
@@ -89,7 +149,14 @@ func main() {
 		g.NumTriples(), g.NumEntities(), ks.Len(), eng, *p)
 
 	if *incremental {
-		runIncremental(g, ks, *rounds, *deltaFrac, *mutSeed, *verify, *p)
+		start := time.Now()
+		m, err := graphkeys.NewMatcher(g, ks, graphkeys.Options{Workers: *p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "emrun: initial full chase: %d pairs in %v\n",
+			len(m.Result().Matches), time.Since(start).Round(time.Microsecond))
+		runIncremental(m, ks, *rounds, *deltaFrac, *mutSeed, *verify, *p)
 		return
 	}
 
@@ -114,7 +181,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "emrun: %d pairs in %v\n", len(res.Matches), time.Since(start).Round(time.Microsecond))
-	if *classes {
+	printResult(res, *classes)
+}
+
+func printResult(res *graphkeys.Result, classes bool) {
+	if classes {
 		for _, cls := range res.Classes {
 			fmt.Println(strings.Join(cls, "\t"))
 		}
@@ -125,25 +196,87 @@ func main() {
 	}
 }
 
+// openDurable opens the WAL-backed matcher and, when the log is fresh
+// (empty matcher), loads the graph file and seeds the log with it as
+// one initial delta. On resume the graph file is never parsed.
+func openDurable(dir string, loadGraph func() *graphkeys.Graph, ks *graphkeys.KeySet, opts graphkeys.Options) (*graphkeys.Matcher, error) {
+	m, err := graphkeys.OpenMatcher(dir, ks, opts)
+	if err != nil {
+		return nil, err
+	}
+	if m.Graph().NumTriples() > 0 || m.Graph().NumEntities() > 0 {
+		fmt.Fprintf(os.Stderr, "emrun: resumed WAL state from %s (%d triples); graph file ignored\n",
+			dir, m.Graph().NumTriples())
+		return m, nil
+	}
+	g := loadGraph()
+	seed := graphkeys.NewDelta()
+	g.EachEntity(func(id graphkeys.EntityID, typeName string) {
+		seed.AddEntity(id, typeName)
+	})
+	g.EachTriple(func(s graphkeys.EntityID, pred, obj string, isValue bool) {
+		if isValue {
+			seed.AddValueTriple(s, pred, obj)
+		} else {
+			seed.AddEntityTriple(s, pred, obj)
+		}
+	})
+	if _, _, err := m.Apply(seed); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("emrun: seeding WAL from graph: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "emrun: seeded WAL at %s with %d ops\n", dir, seed.Len())
+	return m, nil
+}
+
+// runReplay reconstructs a matcher from the WAL directory alone and
+// prints its pairs; with a reference graph file it also verifies the
+// reconstruction byte for byte.
+func runReplay(dir, graphPath string, ks *graphkeys.KeySet, opts graphkeys.Options, classes bool) {
+	start := time.Now()
+	m, err := graphkeys.OpenMatcher(dir, ks, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	fmt.Fprintf(os.Stderr, "emrun: replayed %s: %d triples, %d pairs in %v\n",
+		dir, m.Graph().NumTriples(), len(m.Result().Matches), time.Since(start).Round(time.Microsecond))
+	if graphPath != "" {
+		gf, err := os.Open(graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := graphkeys.LoadGraph(gf)
+		gf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got, want bytes.Buffer
+		if err := m.Graph().Write(&got); err != nil {
+			log.Fatal(err)
+		}
+		if err := ref.Write(&want); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			log.Fatal("emrun: replayed graph diverges from the reference graph file")
+		}
+		fmt.Fprintln(os.Stderr, "emrun: replayed graph matches the reference graph file")
+	}
+	printResult(m.Result(), classes)
+}
+
 // triple is the string form of a stored triple, for replay deltas.
 type triple struct {
 	s, p, o string
 	isValue bool
 }
 
-// runIncremental drives the -incremental replay mode: build the
-// Matcher (one full chase), then per round remove and re-add a random
-// small batch of triples, reporting repair cost and churn.
-func runIncremental(g *graphkeys.Graph, ks *graphkeys.KeySet, rounds int, deltaFrac float64, seed int64, verify bool, p int) {
-	start := time.Now()
-	m, err := graphkeys.NewMatcher(g, ks, graphkeys.Options{Workers: p})
-	if err != nil {
-		log.Fatal(err)
-	}
-	initial := time.Since(start)
-	fmt.Fprintf(os.Stderr, "emrun: initial full chase: %d pairs in %v\n",
-		len(m.Result().Matches), initial.Round(time.Microsecond))
-
+// runIncremental drives the -incremental replay mode over an existing
+// matcher: per round, remove and re-add a random small batch of
+// triples, reporting repair cost and churn.
+func runIncremental(m *graphkeys.Matcher, ks *graphkeys.KeySet, rounds int, deltaFrac float64, seed int64, verify bool, p int) {
+	g := m.Graph()
 	rng := rand.New(rand.NewSource(seed))
 	batch := int(float64(g.NumTriples()) * deltaFrac)
 	if batch < 1 {
@@ -205,7 +338,6 @@ func runIncremental(g *graphkeys.Graph, ks *graphkeys.KeySet, rounds int, deltaF
 		return
 	}
 	perDelta := incTotal / time.Duration(deltas)
-	fmt.Fprintf(os.Stderr, "emrun: %d deltas of ~%d triples: %v total, %v/delta (initial full chase %v, %.1fx)\n",
-		deltas, batch, incTotal.Round(time.Microsecond), perDelta.Round(time.Microsecond),
-		initial.Round(time.Microsecond), float64(initial)/float64(perDelta))
+	fmt.Fprintf(os.Stderr, "emrun: %d deltas of ~%d triples: %v total, %v/delta\n",
+		deltas, batch, incTotal.Round(time.Microsecond), perDelta.Round(time.Microsecond))
 }

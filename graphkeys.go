@@ -260,6 +260,9 @@ type Options struct {
 	// keys lack value anchors, and matchers with a custom ValueEq,
 	// always use the full sweep regardless.
 	FullCandidateSweep bool
+	// Durability selects the WAL append policy of a durable Matcher;
+	// only OpenMatcher reads it. The zero value appends without fsync.
+	Durability Durability
 }
 
 func (o Options) workers() int { return engine.Workers(o.Workers) }

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"graphkeys/internal/graph"
+	"graphkeys/internal/inc"
+)
+
+// This file benchmarks the planned write path (internal/graph/plan.go)
+// end to end: a stream of small deltas driven through the incremental
+// engine (the machinery under graphkeys.Matcher.Apply/ApplyBatch),
+// comparing the old single-writer shape — one Apply, and with it one
+// full incremental maintenance pass, per delta — against the batched
+// ApplyAll path at increasing writer counts. CI runs it at GOMAXPROCS
+// 1 and 4 and publishes the JSON report as the BENCH_write_path.json
+// artifact.
+//
+// The delta stream touches distinct entities, so batch members have
+// disjoint shard footprints and the store's admission control lets
+// their mutations apply concurrently; the incremental repair then runs
+// once over the merged result instead of once per delta, which is
+// where most of the win comes from (and why batching at one writer
+// must already beat per-delta Apply — the "never slower at 1 vCPU"
+// half of the acceptance bar).
+
+// WritePathRun is one writer-count measurement.
+type WritePathRun struct {
+	Writers       int     `json:"writers"`
+	Millis        float64 `json:"ms"`
+	DeltasPerSec  float64 `json:"deltas_per_sec"`
+	SpeedupSerial float64 `json:"speedup_vs_serial"`
+	SpeedupOne    float64 `json:"speedup_vs_1_writer"`
+	Identical     bool    `json:"identical"`
+}
+
+// WritePathReport is the machine-readable outcome of the write-path
+// experiment.
+type WritePathReport struct {
+	Dataset      string         `json:"dataset"`
+	Triples      int            `json:"triples"`
+	Entities     int            `json:"entities"`
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	Deltas       int            `json:"deltas"`
+	BatchSize    int            `json:"batch_size"`
+	SerialMillis float64        `json:"serial_ms"`
+	SerialPerSec float64        `json:"serial_deltas_per_sec"`
+	Runs         []WritePathRun `json:"runs"`
+}
+
+// JSON renders the report.
+func (r *WritePathReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// writePathDeltas derives a delta stream from the workload graph: up
+// to nDeltas deltas over distinct entities, each removing one of the
+// entity's value triples and adding a replacement, so any subset of
+// the stream is mutually independent.
+func writePathDeltas(g *graph.Graph, nDeltas int) ([]*graph.Delta, error) {
+	type attr struct{ id, pred, lit string }
+	var attrs []attr
+	seen := make(map[string]bool)
+	g.EachTriple(func(s graph.NodeID, p graph.PredID, o graph.NodeID) {
+		if !g.IsValue(o) {
+			return
+		}
+		id := g.Label(s)
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		attrs = append(attrs, attr{id: id, pred: g.PredName(p), lit: g.Label(o)})
+	})
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("writepath: workload has no value triples")
+	}
+	if nDeltas > len(attrs) {
+		nDeltas = len(attrs)
+	}
+	deltas := make([]*graph.Delta, nDeltas)
+	for i := 0; i < nDeltas; i++ {
+		a := attrs[i]
+		d := &graph.Delta{}
+		d.RemoveValueTriple(a.id, a.pred, a.lit)
+		d.AddValueTriple(a.id, a.pred, fmt.Sprintf("%s-w%d", a.lit, i%7))
+		deltas[i] = d
+	}
+	return deltas, nil
+}
+
+// WritePathExp measures delta throughput through the incremental
+// engine: the serial per-delta path, then batched ApplyAll at each
+// writer count. Each run rebuilds the engine over a fresh copy of the
+// workload (Build is deterministic under one config), and every run's
+// final graph text is compared against the serial run's.
+func WritePathExp(ds Dataset, cfg BuildConfig, writers []int, nDeltas, batchSize int) (*Table, *WritePathReport, error) {
+	build := func() (*inc.Engine, *graph.Graph, error) {
+		w, err := Build(ds, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := inc.New(w.Graph, w.Keys, inc.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, w.Graph, nil
+	}
+	probe, err := Build(ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	deltas, err := writePathDeltas(probe.Graph, nDeltas)
+	if err != nil {
+		return nil, nil, err
+	}
+	nDeltas = len(deltas)
+
+	finalText := func(g *graph.Graph) (string, error) {
+		var sb strings.Builder
+		if err := g.WriteText(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	}
+
+	// Serial baseline: one Apply (and one maintenance pass) per delta.
+	eng, g, err := build()
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	for _, d := range deltas {
+		if _, _, err := eng.Apply(d); err != nil {
+			return nil, nil, err
+		}
+	}
+	serialDur := time.Since(start)
+	serialGraph, err := finalText(g)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := &WritePathReport{
+		Dataset:      ds.String(),
+		Triples:      probe.Graph.NumTriples(),
+		Entities:     probe.Graph.NumEntities(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Deltas:       nDeltas,
+		BatchSize:    batchSize,
+		SerialMillis: ms(serialDur),
+		SerialPerSec: float64(nDeltas) / serialDur.Seconds(),
+	}
+	table := &Table{
+		Title: fmt.Sprintf("Write path: %d deltas through the incremental engine (%s, |G|=%d, batch=%d, GOMAXPROCS=%d)",
+			nDeltas, ds, rep.Triples, batchSize, rep.GOMAXPROCS),
+		Header: []string{"writers", "time", "deltas/s", "vs serial", "vs 1-writer", "identical"},
+		Rows: [][]string{{
+			"serial", fmtDur(serialDur), fmt.Sprintf("%.0f", rep.SerialPerSec), "1.00x", "-", "-",
+		}},
+	}
+
+	var oneWriter time.Duration
+	for _, nw := range writers {
+		eng, g, err := build()
+		if err != nil {
+			return nil, nil, err
+		}
+		start := time.Now()
+		for lo := 0; lo < nDeltas; lo += batchSize {
+			hi := lo + batchSize
+			if hi > nDeltas {
+				hi = nDeltas
+			}
+			if _, _, err := eng.ApplyAll(deltas[lo:hi], nw); err != nil {
+				return nil, nil, err
+			}
+		}
+		dur := time.Since(start)
+		if oneWriter == 0 {
+			oneWriter = dur
+		}
+		gotGraph, err := finalText(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		run := WritePathRun{
+			Writers:       nw,
+			Millis:        ms(dur),
+			DeltasPerSec:  float64(nDeltas) / dur.Seconds(),
+			SpeedupSerial: float64(serialDur) / float64(dur),
+			SpeedupOne:    float64(oneWriter) / float64(dur),
+			Identical:     gotGraph == serialGraph,
+		}
+		rep.Runs = append(rep.Runs, run)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", nw), fmtDur(dur), fmt.Sprintf("%.0f", run.DeltasPerSec),
+			fmt.Sprintf("%.2fx", run.SpeedupSerial), fmt.Sprintf("%.2fx", run.SpeedupOne),
+			fmt.Sprintf("%v", run.Identical),
+		})
+	}
+	return table, rep, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestWritePathSmoke runs the write-throughput experiment at a small
+// scale: every run must end in exactly the serial path's graph, the
+// batched path must beat per-delta application even single-writer on
+// one core (the amortized maintenance pass guarantees it — "never
+// slower at 1 vCPU"), and on a machine with enough cores the 4-writer
+// run must clear the acceptance bar of 1.5x over the serialized
+// single-writer path.
+func TestWritePathSmoke(t *testing.T) {
+	cfg := DefaultBuild()
+	cfg.Scale = 0.5
+	_, rep, err := WritePathExp(SyntheticDS, cfg, []int{1, 4}, 128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var four *WritePathRun
+	for i := range rep.Runs {
+		run := &rep.Runs[i]
+		if !run.Identical {
+			t.Fatalf("writers=%d: batched application diverged from serial", run.Writers)
+		}
+		if run.Writers == 4 {
+			four = run
+		}
+	}
+	if four == nil {
+		t.Fatal("no 4-writer run")
+	}
+	if four.SpeedupSerial < 1.5 {
+		// The amortization alone dwarfs 1.5x on every machine; treat a
+		// miss as a real regression regardless of core count.
+		t.Errorf("4-writer batched speedup %.2fx over the serial write path, want >= 1.5x (serial %.1fms, batched %.1fms)",
+			four.SpeedupSerial, rep.SerialMillis, four.Millis)
+	}
+	if runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("concurrency margin check needs >= 4 CPUs (have GOMAXPROCS=%d, NumCPU=%d); measured %.2fx vs serial at 4 writers",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), four.SpeedupSerial)
+	}
+}

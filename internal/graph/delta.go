@@ -100,9 +100,18 @@ func (d *Delta) Len() int { return len(d.ops) }
 // by the delta.
 func (d *Delta) Ops() []DeltaOp { return d.ops }
 
+// NewDeltaOps builds a delta from an op list (copied). It is the
+// inverse of Ops, used to replay logged normalized records.
+func NewDeltaOps(ops []DeltaOp) *Delta {
+	return &Delta{ops: append([]DeltaOp(nil), ops...)}
+}
+
 // DeltaResult reports the effective changes of an applied delta:
 // operations that were no-ops (duplicate adds, removals of absent
-// triples or entities, re-adds of existing entities) do not appear.
+// triples or entities, re-adds of existing entities) do not appear,
+// and neither do ops that cancel inside the delta (an add and a
+// remove of the same triple, an entity created and removed again) —
+// the planner coalesces the ops to their net effect before applying.
 type DeltaResult struct {
 	// AddedEntities lists entity nodes created by the delta.
 	AddedEntities []NodeID
@@ -121,83 +130,23 @@ func (r *DeltaResult) Empty() bool {
 		len(r.RemovedTriples) == 0 && len(r.RemovedEntities) == 0
 }
 
-// ApplyDelta applies the delta atomically: it first validates every
-// operation in order (simulating entity creation and removal, so a
-// triple may reference an entity added earlier in the same delta, and
-// may not reference one removed earlier) and only then mutates the
-// graph. On error the graph is unchanged.
-//
-// Semantics are sequential and idempotent at the op level: adding an
-// existing triple or entity is a no-op, as is removing an absent
-// triple or entity; only entity type conflicts and references to
-// unknown entities are errors.
-func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
-	g.writerMu.Lock()
-	defer g.writerMu.Unlock()
-	if err := g.validateDelta(d); err != nil {
-		return nil, err
-	}
-	res := &DeltaResult{}
-	for i, op := range d.ops {
-		switch op.Kind {
-		case OpAddEntity:
-			if _, exists := g.dir.entByID[op.ID]; !exists {
-				n, err := g.addEntity(op.ID, op.TypeName)
-				if err != nil {
-					return nil, fmt.Errorf("graph: delta op %d: %v", i, err)
-				}
-				res.AddedEntities = append(res.AddedEntities, n)
-			}
-		case OpRemoveEntity:
-			if n, removed, ok := g.removeEntity(op.ID); ok {
-				res.RemovedEntities = append(res.RemovedEntities, n)
-				res.RemovedTriples = append(res.RemovedTriples, removed...)
-			}
-		case OpAddTriple, OpRemoveTriple:
-			s := g.dir.entByID[op.Subject]
-			var o NodeID
-			if op.ObjectIsValue {
-				if op.Kind == OpRemoveTriple {
-					// Do not intern a value just to fail to remove it.
-					v, ok := g.dir.valByLit[op.Object]
-					if !ok {
-						continue
-					}
-					o = v
-				} else {
-					o = g.addValue(op.Object)
-				}
-			} else {
-				o = g.dir.entByID[op.Object]
-			}
-			g.dir.mu.Lock()
-			p := PredID(g.dir.preds.Intern(op.Pred))
-			g.dir.mu.Unlock()
-			if op.Kind == OpAddTriple {
-				if g.HasTriple(s, p, o) {
-					continue
-				}
-				if err := g.addTriple(s, op.Pred, o); err != nil {
-					return nil, fmt.Errorf("graph: delta op %d: %v", i, err)
-				}
-				res.AddedTriples = append(res.AddedTriples, Triple{S: s, P: p, O: o})
-			} else if g.removeTripleID(s, p, o) {
-				res.RemovedTriples = append(res.RemovedTriples, Triple{S: s, P: p, O: o})
-			}
-		default:
-			return nil, fmt.Errorf("graph: delta op %d: unknown kind %d", i, op.Kind)
-		}
-	}
-	return res, nil
-}
-
 // validateDelta checks every op without mutating the graph, simulating
 // the entity-level state (creations and removals) op by op. Interning
-// predicates for removals is deferred to application; validation only
-// needs entity-level checks, which is what makes atomicity possible.
+// predicates and allocating nodes are deferred to the plan's lowering;
+// validation only needs entity-level checks, which is what makes
+// atomicity possible. Caller holds the plan mutex with the delta's
+// footprint admitted (see plan.go); directory lookups still take the
+// directory read lock because executions over other shards may be
+// retiring unrelated entities concurrently.
 func (g *Graph) validateDelta(d *Delta) error {
 	pending := make(map[string]string) // entity IDs added earlier in this delta -> type
 	removed := make(map[string]bool)   // entity IDs removed earlier in this delta
+	lookup := func(id string) (NodeID, bool) {
+		g.dir.mu.RLock()
+		n, ok := g.dir.entByID[id]
+		g.dir.mu.RUnlock()
+		return n, ok
+	}
 	entityKnown := func(id string) bool {
 		if removed[id] {
 			return false
@@ -205,7 +154,7 @@ func (g *Graph) validateDelta(d *Delta) error {
 		if _, ok := pending[id]; ok {
 			return true
 		}
-		_, ok := g.dir.entByID[id]
+		_, ok := lookup(id)
 		return ok
 	}
 	for i, op := range d.ops {
@@ -218,8 +167,8 @@ func (g *Graph) validateDelta(d *Delta) error {
 				}
 				continue
 			}
-			if n, ok := g.dir.entByID[op.ID]; ok && !removed[op.ID] {
-				if have := g.dir.types.Name(int32(g.shardOf(n).nodes[localIndex(n)].typ)); have != op.TypeName {
+			if n, ok := lookup(op.ID); ok && !removed[op.ID] {
+				if have := g.TypeName(g.nodeView(n).typ); have != op.TypeName {
 					return fmt.Errorf("graph: delta op %d: entity %q redeclared with type %q (was %q)",
 						i, op.ID, op.TypeName, have)
 				}

@@ -9,13 +9,18 @@
 //
 // Graphs are built incrementally with AddEntity/AddValue/AddTriple and
 // mutated afterwards with RemoveTriple and ApplyDelta (see delta.go).
-// The store is shard-partitioned by node ID (see shard.go): mutators
-// are serialized against each other, but readers only lock the shard
-// they touch, so any number of readers may run concurrently with a
-// mutator — a reader blocks only while the mutator is writing the very
-// shard it reads. Slices handed out by accessors (Out, In,
-// EntitiesOfType, ValueSubjects) are never mutated in place, so they
-// remain valid snapshots across later mutations.
+// The store is shard-partitioned by node ID (see shard.go) and writes
+// go through the planned write path (see plan.go): a mutation is
+// planned — validated, coalesced to its net effect, split into
+// per-shard micro-ops — under a short planning lock, and then executed
+// against only the shards it touches. Writers whose shard footprints
+// are disjoint execute concurrently; overlapping writers serialize in
+// plan order. Readers only lock the shard they touch, so any number of
+// readers may run concurrently with the writers — a reader blocks only
+// while a writer is writing the very shard it reads. Slices handed out
+// by accessors (Out, In, EntitiesOfType, ValueSubjects) are never
+// mutated in place, so they remain valid snapshots across later
+// mutations.
 package graph
 
 import (
@@ -96,9 +101,11 @@ type directory struct {
 // concurrent access (see shard.go). The zero value is not usable; call
 // New.
 type Graph struct {
-	// writerMu serializes all mutation (the Add*/Remove*/ApplyDelta
-	// entry points). Readers never take it.
-	writerMu sync.Mutex
+	// pl is the write-path planner: plans are serialized by its mutex
+	// (short: validation, coalescing, allocation), executions are
+	// admission-controlled by shard footprint so disjoint writers run
+	// concurrently. Readers never touch it. See plan.go.
+	pl planner
 
 	shards [ShardCount]shard
 	dir    directory
@@ -110,6 +117,7 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	g := &Graph{}
+	g.initPlanner()
 	g.dir.preds = NewInterner()
 	g.dir.types = NewInterner()
 	g.dir.entByID = make(map[string]NodeID)
@@ -143,25 +151,34 @@ func (g *Graph) NumEntities() int {
 // creating it with the given type if it does not exist. Adding the same
 // ID twice with different types is an error.
 func (g *Graph) AddEntity(id, typeName string) (NodeID, error) {
-	g.writerMu.Lock()
-	defer g.writerMu.Unlock()
-	return g.addEntity(id, typeName)
-}
-
-// addEntity is AddEntity with writerMu held.
-func (g *Graph) addEntity(id, typeName string) (NodeID, error) {
-	if n, ok := g.dir.entByID[id]; ok {
-		nd := g.shardOf(n).nodes[localIndex(n)]
-		if g.dir.types.Name(int32(nd.typ)) != typeName {
+	g.pl.mu.Lock()
+	defer g.pl.mu.Unlock()
+	var n NodeID
+	var exists bool
+	// If the entity exists, an in-flight execution over its shard may
+	// be removing it: admit the shard before trusting the lookup (the
+	// lookup re-runs after every wait).
+	g.admit(func() uint32 {
+		g.dir.mu.RLock()
+		n, exists = g.dir.entByID[id]
+		g.dir.mu.RUnlock()
+		if exists {
+			return shardBit(shardIndex(n))
+		}
+		return 0
+	})
+	if exists {
+		nd := g.nodeView(n)
+		if have := g.TypeName(nd.typ); have != typeName {
 			return NoNode, fmt.Errorf("graph: entity %q redeclared with type %q (was %q)",
-				id, typeName, g.dir.types.Name(int32(nd.typ)))
+				id, typeName, have)
 		}
 		return n, nil
 	}
 	g.dir.mu.Lock()
 	t := TypeID(g.dir.types.Intern(typeName))
 	g.dir.mu.Unlock()
-	n := g.allocNode(node{kind: EntityKind, typ: t, label: id})
+	n = g.allocNode(node{kind: EntityKind, typ: t, label: id})
 	g.dir.mu.Lock()
 	g.dir.entByID[id] = n
 	for int(t) >= len(g.dir.byType) {
@@ -185,17 +202,22 @@ func (g *Graph) MustAddEntity(id, typeName string) NodeID {
 // AddValue returns the node for the given value literal, creating it if
 // needed. Equal literals share one node (value equality, §2.1).
 func (g *Graph) AddValue(lit string) NodeID {
-	g.writerMu.Lock()
-	defer g.writerMu.Unlock()
+	g.pl.mu.Lock()
+	defer g.pl.mu.Unlock()
 	return g.addValue(lit)
 }
 
-// addValue is AddValue with writerMu held.
+// addValue is AddValue with the plan mutex held. Values are never
+// removed, so an existing literal needs no admission; a new one only
+// touches its fresh slot, which no in-flight execution can reference.
 func (g *Graph) addValue(lit string) NodeID {
-	if n, ok := g.dir.valByLit[lit]; ok {
+	g.dir.mu.RLock()
+	n, ok := g.dir.valByLit[lit]
+	g.dir.mu.RUnlock()
+	if ok {
 		return n
 	}
-	n := g.allocNode(node{kind: ValueKind, label: lit})
+	n = g.allocNode(node{kind: ValueKind, label: lit})
 	g.dir.mu.Lock()
 	g.dir.valByLit[lit] = n
 	g.dir.mu.Unlock()
@@ -205,12 +227,14 @@ func (g *Graph) addValue(lit string) NodeID {
 // AddTriple records the triple (s, p, o). The subject must be an entity
 // node. Duplicate triples are ignored.
 func (g *Graph) AddTriple(s NodeID, pred string, o NodeID) error {
-	g.writerMu.Lock()
-	defer g.writerMu.Unlock()
+	g.pl.mu.Lock()
+	defer g.pl.mu.Unlock()
+	g.waitMask(shardBit(shardIndex(s)) | shardBit(shardIndex(o)))
 	return g.addTriple(s, pred, o)
 }
 
-// addTriple is AddTriple with writerMu held.
+// addTriple is AddTriple with the plan mutex held and both endpoint
+// shards admitted (no in-flight execution touches them).
 func (g *Graph) addTriple(s NodeID, pred string, o NodeID) error {
 	if !g.valid(s) || !g.valid(o) {
 		return fmt.Errorf("graph: AddTriple with unknown node (s=%d, o=%d)", s, o)
@@ -257,12 +281,14 @@ func (g *Graph) RemoveTriple(s NodeID, pred string, o NodeID) bool {
 
 // RemoveTripleID is RemoveTriple with the predicate already resolved.
 func (g *Graph) RemoveTripleID(s NodeID, p PredID, o NodeID) bool {
-	g.writerMu.Lock()
-	defer g.writerMu.Unlock()
+	g.pl.mu.Lock()
+	defer g.pl.mu.Unlock()
+	g.waitMask(shardBit(shardIndex(s)) | shardBit(shardIndex(o)))
 	return g.removeTripleID(s, p, o)
 }
 
-// removeTripleID is RemoveTripleID with writerMu held.
+// removeTripleID is RemoveTripleID with the plan mutex held and both
+// endpoint shards admitted.
 func (g *Graph) removeTripleID(s NodeID, p PredID, o NodeID) bool {
 	ssh := g.shardOf(s)
 	k := tripleKey{s, p, o}
@@ -283,45 +309,6 @@ func (g *Graph) removeTripleID(s NodeID, p PredID, o NodeID) bool {
 	osh.mu.Unlock()
 	g.nTrip.Add(-1)
 	return true
-}
-
-// removeEntity tombstones the entity with the given external ID after
-// removing its incident triples. It returns the node, the triples
-// actually removed (in out-edge then in-edge order), and whether the
-// entity existed. Caller holds writerMu.
-func (g *Graph) removeEntity(id string) (NodeID, []Triple, bool) {
-	n, ok := g.dir.entByID[id]
-	if !ok {
-		return NoNode, nil, false
-	}
-	sh := g.shardOf(n)
-	l := localIndex(n)
-	var incident []Triple
-	for _, e := range sh.out[l] {
-		incident = append(incident, Triple{S: n, P: e.Pred, O: e.To})
-	}
-	for _, e := range sh.in[l] {
-		incident = append(incident, Triple{S: e.To, P: e.Pred, O: n})
-	}
-	removed := incident[:0]
-	for _, tr := range incident {
-		// A self-loop (n, p, n) appears in both out and in; the second
-		// removal reports false and is skipped.
-		if g.removeTripleID(tr.S, tr.P, tr.O) {
-			removed = append(removed, tr)
-		}
-	}
-	t := sh.nodes[l].typ
-	sh.mu.Lock()
-	sh.nodes[l].dead = true
-	sh.mu.Unlock()
-	g.dir.mu.Lock()
-	delete(g.dir.entByID, id)
-	if int(t) < len(g.dir.byType) {
-		g.dir.byType[t] = removeOne(g.dir.byType[t], n)
-	}
-	g.dir.mu.Unlock()
-	return n, removed, true
 }
 
 // removeOne returns the slice without the first occurrence of x,

@@ -1,0 +1,709 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"graphkeys/internal/engine"
+)
+
+// This file is the planned write path. A mutation no longer walks the
+// raw op list of a Delta against the store one op at a time under a
+// global writer lock; it is first *planned* — validated, normalized and
+// coalesced, resolved to node IDs, and split into per-shard micro-op
+// lists — and the plan is then *executed* against the shards it
+// touches, concurrently with the execution of any other plan touching
+// disjoint shards.
+//
+// # Phases
+//
+// Planning runs under the graph's single plan mutex and is short: it
+// reads, never restructures. It (1) waits for admission — no in-flight
+// execution may overlap the delta's shard footprint, so every read the
+// plan depends on (triple presence, adjacency, the directory entries of
+// referenced entities) is stable; (2) validates the delta exactly as
+// before (entity-level simulation, atomic reject); (3) coalesces the
+// ops into their net effect — duplicate adds collapse, add/remove pairs
+// of the same triple cancel, RemoveEntity expands over the entity's
+// incident triples — producing the normalized op list that is also the
+// WAL record; (4) allocates the surviving new nodes and directory
+// entries (serialized by the plan mutex, so dense IDs stay
+// deterministic in plan order) and lowers the net ops into per-shard
+// micro-ops.
+//
+// Execution takes no global lock at all: the plan's shard footprint is
+// registered as an in-flight mask, the plan mutex is released, and the
+// micro-op lists apply under their own shard's write lock — fanned out
+// via engine.Parallel when the plan spans several shards. Readers keep
+// the shard-local contract they have always had; writers whose
+// footprints are disjoint run fully concurrently; writers that overlap
+// serialize through admission in plan order.
+//
+// # Why presence is decided at plan time
+//
+// Admission excludes any concurrent execution over the plan's shards,
+// and planning is serialized, so the triple-presence and adjacency
+// reads made while planning cannot go stale before the plan executes.
+// That is what lets the executor be purely mechanical (no re-checks, no
+// failure paths) and lets the normalized record be exact: replaying it
+// against the same pre-state reproduces the same post-state, byte for
+// byte.
+
+// DeltaLog receives the normalized (net-effect) op list of a planned
+// delta before it is applied, while plan order is still held — records
+// handed to consecutive calls are in exactly the order the deltas
+// serialize in. Returning an error aborts the delta before any
+// mutation: this is the write-ahead hook the WAL hangs off.
+type DeltaLog func(norm []DeltaOp) error
+
+// planner is the admission state of the write path: which shard
+// footprints are currently executing, and which planners are waiting.
+type planner struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// flights maps an in-flight token to the shard mask its execution
+	// may write; union is the OR of all of them.
+	flights map[int64]uint32
+	union   uint32
+	nextTok int64
+	// waitQ holds the tickets of planners blocked in admission, in
+	// arrival order. Admission is strict FIFO among waiters: once a
+	// planner has started waiting, later arrivals queue behind it even
+	// when their own footprints are clear, so a wide-footprint delta
+	// (e.g. removing a high-degree hub) cannot be starved by a
+	// sustained stream of narrow ones.
+	waitQ      []int64
+	nextTicket int64
+}
+
+func (g *Graph) initPlanner() {
+	g.pl.cond = sync.NewCond(&g.pl.mu)
+	g.pl.flights = make(map[int64]uint32)
+}
+
+func shardBit(i int) uint32 { return 1 << uint(i) }
+
+// admit blocks, with pl.mu held, until maskFn's footprint is clear of
+// every in-flight execution AND this planner is not behind an earlier
+// waiter. maskFn is re-evaluated after every wake-up (name resolutions
+// shift while waiting); its final value is returned. Fast path: with
+// no in-flight conflict and no waiters, admit never blocks.
+func (g *Graph) admit(maskFn func() uint32) uint32 {
+	queued := false
+	var ticket int64
+	for {
+		mask := maskFn()
+		if g.pl.union&mask == 0 && (len(g.pl.waitQ) == 0 || (queued && g.pl.waitQ[0] == ticket)) {
+			if queued {
+				g.pl.waitQ = g.pl.waitQ[1:]
+				// The next waiter may be admissible right now.
+				g.pl.cond.Broadcast()
+			}
+			return mask
+		}
+		if !queued {
+			ticket = g.pl.nextTicket
+			g.pl.nextTicket++
+			g.pl.waitQ = append(g.pl.waitQ, ticket)
+			queued = true
+		}
+		g.pl.cond.Wait()
+	}
+}
+
+// waitMask is admit for a footprint that cannot shift while waiting
+// (shards derived from node IDs, which are stable).
+func (g *Graph) waitMask(mask uint32) {
+	g.admit(func() uint32 { return mask })
+}
+
+// registerFlight marks mask as executing and returns its token.
+// Caller holds pl.mu.
+func (g *Graph) registerFlight(mask uint32) int64 {
+	tok := g.pl.nextTok
+	g.pl.nextTok++
+	g.pl.flights[tok] = mask
+	g.pl.union |= mask
+	return tok
+}
+
+// completeFlight retires a flight and wakes waiting planners. It takes
+// pl.mu itself; the caller must have released every shard lock first.
+func (g *Graph) completeFlight(tok int64) {
+	g.pl.mu.Lock()
+	delete(g.pl.flights, tok)
+	var u uint32
+	for _, m := range g.pl.flights {
+		u |= m
+	}
+	g.pl.union = u
+	g.pl.cond.Broadcast()
+	g.pl.mu.Unlock()
+}
+
+// planRef names a node during planning: a concrete NodeID for nodes
+// that exist, or a pending allocation for nodes the delta creates.
+// Distinct incarnations of the same external ID (remove + re-add in one
+// delta) get distinct refs, so triple keys never conflate them.
+type planRef struct {
+	n    NodeID
+	pend *pendNode
+}
+
+// pendNode is a node the delta will create if its incarnation survives
+// coalescing. n is assigned at allocation time.
+type pendNode struct {
+	kind     Kind
+	label    string
+	typeName string
+	live     bool
+	n        NodeID
+}
+
+// tKey identifies one logical triple during planning, at whatever
+// resolution level its endpoints have (predicates stay names until
+// lowering, so planning never interns on behalf of ops that may
+// coalesce away).
+type tKey struct {
+	s    planRef
+	pred string
+	o    planRef
+}
+
+// tState tracks the net effect on one triple across the delta's ops.
+type tState struct {
+	initial   bool // present in the graph before the delta
+	current   bool // present after the ops processed so far
+	adderOp   int  // op index of the last absent->present transition
+	removerOp int  // op index of the last present->absent transition; -1 when a RemoveEntity expansion caused it
+}
+
+// shardOp is one mechanical mutation of one shard, produced by
+// lowering a planned delta. Executors apply these under the shard lock
+// with no decisions left to make.
+type shardOp struct {
+	kind uint8
+	n    NodeID // local node the op touches (subject, object, or tombstone)
+	e    Edge
+	pk   postKey
+}
+
+const (
+	sAddKey uint8 = iota // triples[{n, e.Pred, e.To}] insert (n is the subject)
+	sDelKey
+	sOutAdd // out[n] append e
+	sOutDel
+	sInAdd // in[n] append e
+	sInDel
+	sPostAdd // posting pk gains n (sorted insert)
+	sPostDel
+	sDead // tombstone n
+)
+
+// planned is a fully lowered delta: everything the executor needs, and
+// nothing it has to think about.
+type planned struct {
+	mask      uint32
+	perShard  map[int][]shardOp
+	norm      []DeltaOp
+	emit      []emitItem
+	result    DeltaResult
+	tripDelta int64
+	// pids memoizes predicate name -> interned ID across the plan's
+	// lowering, so a high-degree RemoveEntity resolves each distinct
+	// predicate once instead of once per incident triple.
+	pids map[string]PredID
+}
+
+// ApplyDelta applies the delta atomically through the planned write
+// path: it validates every operation (simulating entity creation and
+// removal, so a triple may reference an entity added earlier in the
+// same delta, and may not reference one removed earlier) and only then
+// mutates the graph. On error the graph is untouched — not a node, not
+// an interned name.
+//
+// Ops are normalized before application: duplicate adds, removals of
+// absent triples, and add/remove pairs of the same triple inside one
+// delta coalesce to their net effect, which is what DeltaResult
+// reports (a delta whose ops cancel out reports Empty). ApplyDelta is
+// safe for concurrent use: deltas whose shard footprints are disjoint
+// apply concurrently, overlapping ones serialize in plan order.
+func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
+	return g.ApplyDeltaLogged(d, nil)
+}
+
+// ApplyDeltaLogged is ApplyDelta with a write-ahead hook: log (when
+// non-nil) receives the normalized op list after validation and
+// coalescing but before any mutation, in plan order. If log errors the
+// delta is aborted and the graph left untouched. Deltas that coalesce
+// to a no-op are not logged.
+func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
+	g.pl.mu.Lock()
+	g.admit(func() uint32 { return g.deltaMask(d) })
+	if err := g.validateDelta(d); err != nil {
+		g.pl.mu.Unlock()
+		return nil, err
+	}
+	p := g.planDelta(d)
+	if len(p.norm) == 0 {
+		g.pl.mu.Unlock()
+		return &p.result, nil
+	}
+	if log != nil {
+		if err := log(p.norm); err != nil {
+			g.pl.mu.Unlock()
+			return nil, fmt.Errorf("graph: delta log: %w", err)
+		}
+	}
+	g.lowerPlanned(p)
+	tok := g.registerFlight(p.mask)
+	g.pl.mu.Unlock()
+
+	g.executePlanned(p)
+
+	g.completeFlight(tok)
+	return &p.result, nil
+}
+
+// deltaMask conservatively over-approximates the shard footprint of the
+// delta against the current directory: the shards of every node the
+// delta references, the shards of the neighbors of every entity it
+// removes, and the shards of every node it could allocate (tentative
+// dense IDs are exact because allocation is serialized under the plan
+// mutex). Caller holds pl.mu; the mask must be recomputed after every
+// admission wait, since resolutions shift while waiting.
+func (g *Graph) deltaMask(d *Delta) uint32 {
+	var mask uint32
+	tentative := 0
+	seenVal := make(map[string]bool)
+	ent := func(id string) (NodeID, bool) {
+		g.dir.mu.RLock()
+		n, ok := g.dir.entByID[id]
+		g.dir.mu.RUnlock()
+		return n, ok
+	}
+	for _, op := range d.ops {
+		switch op.Kind {
+		case OpAddEntity:
+			if n, ok := ent(op.ID); ok {
+				mask |= shardBit(shardIndex(n))
+			}
+			// Count an allocation even for IDs that resolve: a
+			// remove + re-add in the same delta allocates a fresh node.
+			tentative++
+		case OpRemoveEntity:
+			if n, ok := ent(op.ID); ok {
+				mask |= shardBit(shardIndex(n))
+				out, in := g.edges(n)
+				for _, e := range out {
+					mask |= shardBit(shardIndex(e.To))
+				}
+				for _, e := range in {
+					mask |= shardBit(shardIndex(e.To))
+				}
+			}
+		case OpAddTriple, OpRemoveTriple:
+			if n, ok := ent(op.Subject); ok {
+				mask |= shardBit(shardIndex(n))
+			}
+			if op.ObjectIsValue {
+				g.dir.mu.RLock()
+				v, ok := g.dir.valByLit[op.Object]
+				g.dir.mu.RUnlock()
+				if ok {
+					mask |= shardBit(shardIndex(v))
+				} else if op.Kind == OpAddTriple && !seenVal[op.Object] {
+					seenVal[op.Object] = true
+					tentative++
+				}
+			} else if n, ok := ent(op.Object); ok {
+				mask |= shardBit(shardIndex(n))
+			}
+		}
+	}
+	base := int(g.nNodes.Load())
+	if tentative > ShardCount {
+		tentative = ShardCount
+	}
+	for k := 0; k < tentative; k++ {
+		mask |= shardBit(shardIndex(NodeID(base + k)))
+	}
+	return mask
+}
+
+// planDelta coalesces a validated delta into its net effect. Caller
+// holds pl.mu with the delta's footprint admitted, so every read is
+// stable. No mutation happens here.
+func (g *Graph) planDelta(d *Delta) *planned {
+	type entState struct {
+		ref  planRef
+		live bool
+	}
+	ents := make(map[string]entState)
+	vals := make(map[string]planRef)
+	trips := make(map[tKey]*tState)
+	entOf := func(id string) entState {
+		if st, ok := ents[id]; ok {
+			return st
+		}
+		g.dir.mu.RLock()
+		n, ok := g.dir.entByID[id]
+		g.dir.mu.RUnlock()
+		st := entState{ref: planRef{n: NoNode}}
+		if ok {
+			st = entState{ref: planRef{n: n}, live: true}
+		}
+		ents[id] = st
+		return st
+	}
+	valOf := func(lit string, create bool) (planRef, bool) {
+		if r, ok := vals[lit]; ok {
+			return r, true
+		}
+		g.dir.mu.RLock()
+		v, ok := g.dir.valByLit[lit]
+		g.dir.mu.RUnlock()
+		if ok {
+			r := planRef{n: v}
+			vals[lit] = r
+			return r, true
+		}
+		if !create {
+			return planRef{n: NoNode}, false
+		}
+		r := planRef{n: NoNode, pend: &pendNode{kind: ValueKind, label: lit, n: NoNode}}
+		vals[lit] = r
+		return r, true
+	}
+	present := func(k tKey) bool {
+		if k.s.pend != nil || k.o.pend != nil {
+			return false
+		}
+		pid, ok := g.PredByName(k.pred)
+		if !ok {
+			return false
+		}
+		return g.HasTriple(k.s.n, pid, k.o.n)
+	}
+	stateOf := func(k tKey) *tState {
+		if ts, ok := trips[k]; ok {
+			return ts
+		}
+		p := present(k)
+		ts := &tState{initial: p, current: p, adderOp: -1, removerOp: -1}
+		trips[k] = ts
+		return ts
+	}
+	predNames := make(map[PredID]string)
+	pname := func(p PredID) string {
+		if name, ok := predNames[p]; ok {
+			return name
+		}
+		name := g.PredName(p)
+		predNames[p] = name
+		return name
+	}
+
+	created := make(map[int]*pendNode) // AddEntity op index -> incarnation it created
+	removedAt := make(map[int]NodeID)  // RemoveEntity op index -> existing node removed
+	ownedRems := make(map[int][]tKey)  // RemoveEntity op index -> expansion removals, adjacency order
+	opKey := make(map[int]tKey)        // triple op index -> resolved key
+	// cancelRef cancels in-delta triple additions touching r. For an
+	// existing node every initial-present incident triple was already
+	// flipped by the adjacency expansion, so only initial-absent
+	// (net-no-op) entries can still be current here — nothing to own.
+	cancelRef := func(r planRef) {
+		for k, ts := range trips {
+			if ts.current && (k.s == r || k.o == r) {
+				ts.current = false
+				ts.removerOp = -1
+			}
+		}
+	}
+
+	for i, op := range d.ops {
+		switch op.Kind {
+		case OpAddEntity:
+			if st := entOf(op.ID); st.live {
+				continue // exists (validated same-type) — no-op
+			}
+			p := &pendNode{kind: EntityKind, label: op.ID, typeName: op.TypeName, live: true, n: NoNode}
+			ents[op.ID] = entState{ref: planRef{n: NoNode, pend: p}, live: true}
+			created[i] = p
+		case OpRemoveEntity:
+			st := entOf(op.ID)
+			if !st.live {
+				continue
+			}
+			ents[op.ID] = entState{ref: planRef{n: NoNode}}
+			if st.ref.pend != nil {
+				// In-delta incarnation: cancel it and its triples.
+				st.ref.pend.live = false
+				cancelRef(st.ref)
+				continue
+			}
+			n := st.ref.n
+			removedAt[i] = n
+			// Expand over the pre-delta incident triples (out then in;
+			// a self-loop dedups through the state map)…
+			out, in := g.edges(n)
+			for _, e := range out {
+				k := tKey{s: planRef{n: n}, pred: pname(e.Pred), o: planRef{n: e.To}}
+				if ts := stateOf(k); ts.current {
+					ts.current = false
+					ts.removerOp = -1
+					ownedRems[i] = append(ownedRems[i], k)
+				}
+			}
+			for _, e := range in {
+				k := tKey{s: planRef{n: e.To}, pred: pname(e.Pred), o: planRef{n: n}}
+				if ts := stateOf(k); ts.current {
+					ts.current = false
+					ts.removerOp = -1
+					ownedRems[i] = append(ownedRems[i], k)
+				}
+			}
+			// …and over triples this delta added onto the node.
+			cancelRef(planRef{n: n})
+		case OpAddTriple:
+			s := entOf(op.Subject).ref
+			var o planRef
+			if op.ObjectIsValue {
+				o, _ = valOf(op.Object, true)
+			} else {
+				o = entOf(op.Object).ref
+			}
+			k := tKey{s: s, pred: op.Pred, o: o}
+			opKey[i] = k
+			if ts := stateOf(k); !ts.current {
+				ts.current = true
+				ts.adderOp = i
+			}
+		case OpRemoveTriple:
+			s := entOf(op.Subject).ref
+			var o planRef
+			if op.ObjectIsValue {
+				var ok bool
+				if o, ok = valOf(op.Object, false); !ok {
+					continue // unknown literal: nothing to remove
+				}
+			} else {
+				o = entOf(op.Object).ref
+			}
+			k := tKey{s: s, pred: op.Pred, o: o}
+			opKey[i] = k
+			if ts := stateOf(k); ts.current {
+				ts.current = false
+				ts.removerOp = i
+			}
+		}
+	}
+
+	// Emission: walk the ops again and keep exactly those whose effect
+	// survived — the normalized record, in original op order, plus the
+	// lowering worklist that mirrors it.
+	p := &planned{perShard: make(map[int][]shardOp), pids: make(map[string]PredID)}
+	for i, op := range d.ops {
+		switch op.Kind {
+		case OpAddEntity:
+			if pn := created[i]; pn != nil && pn.live {
+				p.norm = append(p.norm, op)
+				p.emit = append(p.emit, emitItem{kind: eAlloc, pend: pn})
+			}
+		case OpRemoveEntity:
+			if n, ok := removedAt[i]; ok {
+				p.norm = append(p.norm, op)
+				p.emit = append(p.emit, emitItem{kind: eTombstone, n: n, keys: ownedRems[i]})
+			}
+		case OpAddTriple:
+			k, ok := opKey[i]
+			if !ok {
+				continue
+			}
+			if ts := trips[k]; !ts.initial && ts.current && ts.adderOp == i {
+				p.norm = append(p.norm, op)
+				p.emit = append(p.emit, emitItem{kind: eAddTriple, key: k})
+			}
+		case OpRemoveTriple:
+			k, ok := opKey[i]
+			if !ok {
+				continue
+			}
+			if ts := trips[k]; ts.initial && !ts.current && ts.removerOp == i {
+				p.norm = append(p.norm, op)
+				p.emit = append(p.emit, emitItem{kind: eRemTriple, key: k})
+			}
+		}
+	}
+	return p
+}
+
+// emitItem is one surviving effect of a planned delta, in normalized
+// order, still at planning resolution (lowerPlanned resolves it).
+type emitItem struct {
+	kind uint8
+	pend *pendNode
+	n    NodeID
+	key  tKey
+	keys []tKey // eTombstone: the expansion removals this entity owns
+}
+
+const (
+	eAlloc uint8 = iota
+	eTombstone
+	eAddTriple
+	eRemTriple
+)
+
+// lowerPlanned allocates the plan's surviving nodes, interns its
+// predicate names, and lowers the emission list into per-shard
+// micro-ops and the DeltaResult. Caller holds pl.mu; this is the only
+// part of planning that mutates (allocation and interning only — the
+// delta is committed from here on, which is why it runs after the
+// write-ahead log hook).
+func (g *Graph) lowerPlanned(p *planned) {
+	shardOpAdd := func(si int, op shardOp) {
+		p.perShard[si] = append(p.perShard[si], op)
+		p.mask |= shardBit(si)
+	}
+	for _, it := range p.emit {
+		switch it.kind {
+		case eAlloc:
+			g.dir.mu.Lock()
+			t := TypeID(g.dir.types.Intern(it.pend.typeName))
+			g.dir.mu.Unlock()
+			n := g.allocNode(node{kind: EntityKind, typ: t, label: it.pend.label})
+			it.pend.n = n
+			g.dir.mu.Lock()
+			g.dir.entByID[it.pend.label] = n
+			for int(t) >= len(g.dir.byType) {
+				g.dir.byType = append(g.dir.byType, nil)
+			}
+			g.dir.byType[t] = append(g.dir.byType[t], n)
+			g.dir.mu.Unlock()
+			p.result.AddedEntities = append(p.result.AddedEntities, n)
+		case eTombstone:
+			for _, k := range it.keys {
+				g.lowerTriple(p, k, false, shardOpAdd)
+			}
+			// The directory is plan-authoritative in both directions:
+			// entries appear at eAlloc lowering and disappear here, so a
+			// remove + re-add of the same external ID in one delta
+			// leaves the re-added incarnation's entry in place.
+			typ, _ := g.EntityType(it.n)
+			shardOpAdd(shardIndex(it.n), shardOp{kind: sDead, n: it.n})
+			g.dir.mu.Lock()
+			delete(g.dir.entByID, g.Label(it.n))
+			if int(typ) < len(g.dir.byType) {
+				g.dir.byType[typ] = removeOne(g.dir.byType[typ], it.n)
+			}
+			g.dir.mu.Unlock()
+			p.result.RemovedEntities = append(p.result.RemovedEntities, it.n)
+		case eAddTriple:
+			g.lowerTriple(p, it.key, true, shardOpAdd)
+		case eRemTriple:
+			g.lowerTriple(p, it.key, false, shardOpAdd)
+		}
+	}
+	p.tripDelta = int64(len(p.result.AddedTriples) - len(p.result.RemovedTriples))
+}
+
+// lowerTriple lowers one net triple add or removal into micro-ops on
+// the subject's and object's shards.
+func (g *Graph) lowerTriple(p *planned, k tKey, add bool, emit func(int, shardOp)) {
+	s := k.s.n
+	if k.s.pend != nil {
+		s = k.s.pend.n
+	}
+	pid, cached := p.pids[k.pred]
+	if !cached {
+		if add {
+			g.dir.mu.Lock()
+			pid = PredID(g.dir.preds.Intern(k.pred))
+			g.dir.mu.Unlock()
+		} else {
+			pid, _ = g.PredByName(k.pred)
+		}
+		p.pids[k.pred] = pid
+	}
+	var o NodeID
+	oIsValue := false
+	if k.o.pend != nil {
+		if k.o.pend.n == NoNode && k.o.pend.kind == ValueKind {
+			k.o.pend.n = g.allocNode(node{kind: ValueKind, label: k.o.pend.label})
+			g.dir.mu.Lock()
+			g.dir.valByLit[k.o.pend.label] = k.o.pend.n
+			g.dir.mu.Unlock()
+		}
+		o = k.o.pend.n
+		oIsValue = k.o.pend.kind == ValueKind
+	} else {
+		o = k.o.n
+		oIsValue = g.IsValue(o)
+	}
+	ssi, osi := shardIndex(s), shardIndex(o)
+	tr := Triple{S: s, P: pid, O: o}
+	if add {
+		emit(ssi, shardOp{kind: sAddKey, n: s, e: Edge{Pred: pid, To: o}})
+		emit(ssi, shardOp{kind: sOutAdd, n: s, e: Edge{Pred: pid, To: o}})
+		emit(osi, shardOp{kind: sInAdd, n: o, e: Edge{Pred: pid, To: s}})
+		if oIsValue {
+			emit(osi, shardOp{kind: sPostAdd, n: s, pk: postKey{p: pid, v: o}})
+		}
+		p.result.AddedTriples = append(p.result.AddedTriples, tr)
+	} else {
+		emit(ssi, shardOp{kind: sDelKey, n: s, e: Edge{Pred: pid, To: o}})
+		emit(ssi, shardOp{kind: sOutDel, n: s, e: Edge{Pred: pid, To: o}})
+		emit(osi, shardOp{kind: sInDel, n: o, e: Edge{Pred: pid, To: s}})
+		if oIsValue {
+			emit(osi, shardOp{kind: sPostDel, n: s, pk: postKey{p: pid, v: o}})
+		}
+		p.result.RemovedTriples = append(p.result.RemovedTriples, tr)
+	}
+}
+
+// executePlanned applies a lowered plan: per-shard micro-op lists in
+// parallel (each shard's list under that shard's write lock, so
+// readers observe the shard's whole sub-delta atomically), then the
+// triple-count adjustment. Directory changes already happened at
+// lowering (the directory is plan-authoritative).
+func (g *Graph) executePlanned(p *planned) {
+	shards := make([]int, 0, len(p.perShard))
+	for si := range p.perShard {
+		shards = append(shards, si)
+	}
+	engine.Parallel(engine.Workers(0), len(shards), func(i int) {
+		g.applyShardOps(&g.shards[shards[i]], p.perShard[shards[i]])
+	})
+	g.nTrip.Add(p.tripDelta)
+}
+
+// applyShardOps runs one shard's micro-ops under its write lock. Every
+// slice mutation keeps the handed-out-snapshot contract: removals copy
+// (removeOne / postRemove), insertions append or copy (postInsert).
+func (g *Graph) applyShardOps(sh *shard, ops []shardOp) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, op := range ops {
+		switch op.kind {
+		case sAddKey:
+			sh.triples[tripleKey{op.n, op.e.Pred, op.e.To}] = struct{}{}
+		case sDelKey:
+			delete(sh.triples, tripleKey{op.n, op.e.Pred, op.e.To})
+		case sOutAdd:
+			sh.out[localIndex(op.n)] = append(sh.out[localIndex(op.n)], op.e)
+		case sOutDel:
+			sh.out[localIndex(op.n)] = removeOne(sh.out[localIndex(op.n)], op.e)
+		case sInAdd:
+			sh.in[localIndex(op.n)] = append(sh.in[localIndex(op.n)], op.e)
+		case sInDel:
+			sh.in[localIndex(op.n)] = removeOne(sh.in[localIndex(op.n)], op.e)
+		case sPostAdd:
+			postInsert(sh, op.pk.p, op.pk.v, op.n)
+		case sPostDel:
+			postRemove(sh, op.pk.p, op.pk.v, op.n)
+		case sDead:
+			sh.nodes[localIndex(op.n)].dead = true
+		}
+	}
+}

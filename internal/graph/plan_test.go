@@ -1,0 +1,362 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// capture applies the delta with a log hook and returns the normalized
+// ops handed to it (nil when the hook was never invoked — the delta
+// coalesced to a no-op).
+func capture(t *testing.T, g *Graph, d *Delta) (*DeltaResult, []DeltaOp) {
+	t.Helper()
+	var norm []DeltaOp
+	called := false
+	res, err := g.ApplyDeltaLogged(d, func(ops []DeltaOp) error {
+		called = true
+		norm = append([]DeltaOp(nil), ops...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		return res, nil
+	}
+	return res, norm
+}
+
+func TestCoalesceDuplicateAdds(t *testing.T) {
+	g := buildSmall(t)
+	d := (&Delta{}).
+		AddValueTriple("a", "tag", "x").
+		AddValueTriple("a", "tag", "x").
+		AddValueTriple("a", "tag", "x")
+	res, norm := capture(t, g, d)
+	if len(norm) != 1 {
+		t.Fatalf("normalized ops = %v, want exactly 1", norm)
+	}
+	if len(res.AddedTriples) != 1 {
+		t.Fatalf("AddedTriples = %v, want 1", res.AddedTriples)
+	}
+}
+
+func TestCoalesceAddThenRemoveIsNoop(t *testing.T) {
+	g := buildSmall(t)
+	before := g.NumNodes()
+	d := (&Delta{}).
+		AddValueTriple("a", "tag", "fresh-literal").
+		RemoveValueTriple("a", "tag", "fresh-literal")
+	res, norm := capture(t, g, d)
+	if norm != nil {
+		t.Fatalf("no-op delta logged %v", norm)
+	}
+	if !res.Empty() {
+		t.Fatalf("no-op delta reported changes: %+v", res)
+	}
+	// The canceled add never interned its value literal.
+	if g.NumNodes() != before {
+		t.Fatalf("no-op delta allocated nodes: %d -> %d", before, g.NumNodes())
+	}
+	if _, ok := g.Value("fresh-literal"); ok {
+		t.Fatal("canceled add interned its value")
+	}
+}
+
+func TestCoalesceRemoveThenReAddIsNoop(t *testing.T) {
+	g := buildSmall(t)
+	var before bytes.Buffer
+	if err := g.WriteText(&before); err != nil {
+		t.Fatal(err)
+	}
+	d := (&Delta{}).
+		RemoveTriple("a", "knows", "b").
+		AddTriple("a", "knows", "b")
+	res, norm := capture(t, g, d)
+	if norm != nil || !res.Empty() {
+		t.Fatalf("remove+re-add of an existing triple reported changes: norm=%v res=%+v", norm, res)
+	}
+	var after bytes.Buffer
+	if err := g.WriteText(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("graph changed across a net no-op delta")
+	}
+}
+
+func TestCoalesceEntityCreatedAndRemoved(t *testing.T) {
+	g := buildSmall(t)
+	before := g.NumNodes()
+	d := (&Delta{}).
+		AddEntity("ghost", "T").
+		AddValueTriple("ghost", "tag", "gx").
+		AddTriple("ghost", "knows", "a").
+		RemoveEntity("ghost")
+	res, norm := capture(t, g, d)
+	if norm != nil || !res.Empty() {
+		t.Fatalf("created+removed entity reported changes: norm=%v res=%+v", norm, res)
+	}
+	if g.NumNodes() != before {
+		t.Fatalf("canceled incarnation allocated nodes: %d -> %d", before, g.NumNodes())
+	}
+	if _, ok := g.Entity("ghost"); ok {
+		t.Fatal("canceled entity resolvable")
+	}
+}
+
+func TestCoalesceRemoveEntityThenReAdd(t *testing.T) {
+	g := buildSmall(t)
+	d := (&Delta{}).
+		RemoveEntity("a").
+		AddEntity("a", "T").
+		AddValueTriple("a", "age", "43")
+	res, norm := capture(t, g, d)
+	// Normalized: RemoveEntity, AddEntity, AddValueTriple — in order.
+	if len(norm) != 3 || norm[0].Kind != OpRemoveEntity || norm[1].Kind != OpAddEntity || norm[2].Kind != OpAddTriple {
+		t.Fatalf("normalized ops = %+v", norm)
+	}
+	if len(res.RemovedEntities) != 1 || len(res.AddedEntities) != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	n, ok := g.Entity("a")
+	if !ok {
+		t.Fatal("re-added entity not resolvable")
+	}
+	if n == res.RemovedEntities[0] {
+		t.Fatal("tombstoned NodeID reused")
+	}
+}
+
+// TestApplyDeltaRejectedLeavesGraphUntouched is the atomicity
+// regression test: a delta that fails validation — even one whose
+// prefix removes an entity and re-adds it — must leave the graph
+// byte-identical, with no node allocated and no name interned.
+func TestApplyDeltaRejectedLeavesGraphUntouched(t *testing.T) {
+	g := buildSmall(t)
+	var before bytes.Buffer
+	if err := g.WriteText(&before); err != nil {
+		t.Fatal(err)
+	}
+	nodes, ents, preds, trips := g.NumNodes(), g.NumEntities(), g.NumPreds(), g.NumTriples()
+
+	bad := (&Delta{}).
+		RemoveEntity("a").
+		AddEntity("a", "U").
+		AddValueTriple("a", "brandnewpred", "brandnewvalue").
+		AddEntity("fresh", "T").
+		AddTriple("fresh", "knows", "no-such-entity") // fails validation
+	logged := false
+	if _, err := g.ApplyDeltaLogged(bad, func([]DeltaOp) error { logged = true; return nil }); err == nil {
+		t.Fatal("invalid delta did not error")
+	}
+	if logged {
+		t.Fatal("rejected delta reached the log")
+	}
+
+	var after bytes.Buffer
+	if err := g.WriteText(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("rejected delta changed the graph:\nbefore:\n%s\nafter:\n%s", before.String(), after.String())
+	}
+	if g.NumNodes() != nodes || g.NumEntities() != ents || g.NumPreds() != preds || g.NumTriples() != trips {
+		t.Fatalf("rejected delta leaked state: nodes %d->%d ents %d->%d preds %d->%d triples %d->%d",
+			nodes, g.NumNodes(), ents, g.NumEntities(), preds, g.NumPreds(), trips, g.NumTriples())
+	}
+	if _, ok := g.Value("brandnewvalue"); ok {
+		t.Fatal("rejected delta interned a value")
+	}
+	if typ, ok := g.Entity("a"); !ok {
+		t.Fatal("rejected delta removed entity a")
+	} else if g.TypeName(g.TypeOf(typ)) != "T" {
+		t.Fatal("rejected delta changed a's type")
+	}
+}
+
+// TestApplyDeltaLogAbort pins the write-ahead contract: a log hook
+// error aborts the delta before any mutation.
+func TestApplyDeltaLogAbort(t *testing.T) {
+	g := buildSmall(t)
+	var before bytes.Buffer
+	if err := g.WriteText(&before); err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.NumNodes()
+	d := (&Delta{}).AddEntity("c", "T").AddValueTriple("c", "age", "9")
+	if _, err := g.ApplyDeltaLogged(d, func([]DeltaOp) error { return fmt.Errorf("disk full") }); err == nil {
+		t.Fatal("log error did not abort the delta")
+	}
+	var after bytes.Buffer
+	if err := g.WriteText(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) || g.NumNodes() != nodes {
+		t.Fatal("aborted delta mutated the graph")
+	}
+	if _, ok := g.Entity("c"); ok {
+		t.Fatal("aborted delta created its entity")
+	}
+}
+
+// TestAdmissionFIFO pins the starvation guarantee: once a writer has
+// started waiting, later-arriving writers queue behind it — even ones
+// whose own footprints are clear — so a wide-footprint delta is
+// admitted before traffic that arrived after it.
+func TestAdmissionFIFO(t *testing.T) {
+	g := New()
+	a := g.MustAddEntity("a", "T")
+	b := g.MustAddEntity("b", "T") // different shard from a (IDs 0 and 1)
+	_ = b
+
+	// Manually hold a flight over a's shard, as if an execution were in
+	// progress there.
+	g.pl.mu.Lock()
+	tok := g.registerFlight(shardBit(shardIndex(a)))
+	g.pl.mu.Unlock()
+
+	var mu sync.Mutex
+	var order []string
+	done := make(chan struct{}, 2)
+	apply := func(name string, d *Delta) {
+		if _, err := g.ApplyDelta(d); err != nil {
+			t.Error(err)
+		}
+		mu.Lock()
+		order = append(order, name)
+		mu.Unlock()
+		done <- struct{}{}
+	}
+	waiters := func() int {
+		g.pl.mu.Lock()
+		defer g.pl.mu.Unlock()
+		return len(g.pl.waitQ)
+	}
+
+	// First writer conflicts with the held flight and must wait.
+	go apply("conflicting", (&Delta{}).AddValueTriple("a", "p", "x"))
+	for waiters() < 1 {
+	}
+	// Second writer touches only b's shard — clear footprint, but it
+	// arrived after a waiter and must queue behind it.
+	go apply("disjoint", (&Delta{}).AddValueTriple("b", "p", "y"))
+	for waiters() < 2 {
+	}
+
+	g.completeFlight(tok)
+	<-done
+	<-done
+	if len(order) != 2 || order[0] != "conflicting" || order[1] != "disjoint" {
+		t.Fatalf("admission order = %v, want [conflicting disjoint]", order)
+	}
+}
+
+// TestConcurrentWritersDisjointShards is the write-path stress test:
+// several goroutines stream deltas over disjoint entity groups through
+// ApplyDelta while readers hammer the accessors; the final graph must
+// equal a serialized application of the same deltas. Run under -race
+// by the CI race job.
+func TestConcurrentWritersDisjointShards(t *testing.T) {
+	const writers = 8
+	const rounds = 40
+	const perGroup = 12
+
+	build := func() *Graph {
+		g := New()
+		for w := 0; w < writers; w++ {
+			for i := 0; i < perGroup; i++ {
+				n := g.MustAddEntity(fmt.Sprintf("w%d-e%d", w, i), "person")
+				g.MustAddTriple(n, "attr", g.AddValue(fmt.Sprintf("w%d-val%d", w, i%5)))
+			}
+		}
+		return g
+	}
+	mkDelta := func(w, round int) *Delta {
+		i := round % perGroup
+		id := fmt.Sprintf("w%d-e%d", w, i)
+		d := &Delta{}
+		d.RemoveValueTriple(id, "attr", fmt.Sprintf("w%d-val%d", w, i%5))
+		d.AddValueTriple(id, "attr", fmt.Sprintf("w%d-val%d", w, (i+round)%5))
+		if round%7 == 3 {
+			other := fmt.Sprintf("w%d-e%d", w, (i+1)%perGroup)
+			d.RemoveEntity(other)
+			d.AddEntity(other, "person")
+			d.AddValueTriple(other, "attr", fmt.Sprintf("w%d-round%d", w, round))
+		}
+		return d
+	}
+
+	// Concurrent application.
+	g := build()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for it := 0; ; it++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := NodeID((seed*17 + it) % g.NumNodes())
+				if typ, ok := g.EntityType(n); ok && typ >= 0 {
+					_ = g.Out(n)
+					_ = g.In(n)
+				}
+				_ = g.NumTriples()
+				if tid, ok := g.TypeByName("person"); ok {
+					_ = g.EntitiesOfType(tid)
+				}
+			}
+		}(r)
+	}
+	var werr error
+	var werrMu sync.Mutex
+	var writersWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWg.Add(1)
+		go func(w int) {
+			defer writersWg.Done()
+			for round := 0; round < rounds; round++ {
+				if _, err := g.ApplyDelta(mkDelta(w, round)); err != nil {
+					werrMu.Lock()
+					werr = fmt.Errorf("writer %d round %d: %v", w, round, err)
+					werrMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	writersWg.Wait()
+	close(stop)
+	wg.Wait()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+
+	// Serialized application of the same deltas (writer-major order —
+	// the groups are disjoint, so any interleaving commutes).
+	ref := build()
+	for w := 0; w < writers; w++ {
+		for round := 0; round < rounds; round++ {
+			if _, err := ref.ApplyDelta(mkDelta(w, round)); err != nil {
+				t.Fatalf("serial writer %d round %d: %v", w, round, err)
+			}
+		}
+	}
+	var got, want bytes.Buffer
+	if err := g.WriteText(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteText(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("concurrent application diverges from serialized:\nconcurrent:\n%s\nserial:\n%s", got.String(), want.String())
+	}
+}

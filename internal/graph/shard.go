@@ -15,16 +15,21 @@ import "sync"
 //   - the inverted value-index postings keyed by value node (the
 //     posting list of (p, v) lives in the shard of v).
 //
-// Locking discipline: all mutation is serialized by Graph.writerMu, and
-// the writer additionally takes a shard's write lock around each actual
-// write to that shard's data. Readers take only the read lock of the
-// shard they touch, so readers of one shard run concurrently with a
-// mutation of another — the old "no readers during mutation" contract
-// is now shard-local. The writer may read any shard's data without
-// locks (it is the only writer; read/read is not a conflict). A reader
-// observes each shard atomically, but an operation spanning shards
-// (AddTriple touches the subject's and the object's shard) is visible
-// shard by shard; cross-shard consistency is only guaranteed at the
+// Locking discipline: mutation runs through the planned write path of
+// plan.go — planning (validation, coalescing, allocation) is
+// serialized by the plan mutex, and a plan's execution is admitted
+// only while no other execution overlaps its shard footprint, so at
+// most one writer ever touches a given shard at a time. Writers with
+// disjoint footprints execute concurrently; each takes a shard's
+// write lock around its writes to that shard's data. Readers take
+// only the read lock of the shard they touch, so readers of one shard
+// run concurrently with a mutation of another — the old "no readers
+// during mutation" contract is shard-local. A planner may read data
+// in its admitted footprint without shard locks (admission excludes
+// writers there; read/read is not a conflict). A reader observes each
+// shard atomically, but an operation spanning shards (AddTriple
+// touches the subject's and the object's shard) is visible shard by
+// shard; cross-shard consistency is only guaranteed at the
 // granularity the caller serializes (e.g. graphkeys.Matcher holds its
 // own lock across ApplyDelta and fixpoint repair).
 //
@@ -87,7 +92,8 @@ func (g *Graph) edges(n NodeID) (out, in []Edge) {
 }
 
 // allocNode appends a node record, returning its dense ID. Caller
-// holds writerMu. The ID is published (NumNodes moves past it) only
+// holds the plan mutex (allocation is serialized, so dense IDs follow
+// plan order). The ID is published (NumNodes moves past it) only
 // after the shard tables contain it, so a reader that sees the new
 // count always finds the slot.
 func (g *Graph) allocNode(nd node) NodeID {

@@ -34,6 +34,8 @@
 package inc
 
 import (
+	"errors"
+
 	"graphkeys/internal/chase"
 	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
@@ -66,11 +68,14 @@ type Stats struct {
 
 // Engine maintains chase(G, Σ) under mutations of G. It owns the
 // graph's mutation lifecycle: after New, mutate the graph only through
-// Apply. An Engine is not safe for concurrent use.
+// Apply/ApplyAll. An Engine is not safe for concurrent use (ApplyAll
+// parallelizes the graph mutations internally; the repair pass and the
+// accessors stay single-threaded).
 type Engine struct {
 	g    *graph.Graph
 	set  *keys.Set
 	opts Options
+	log  graph.DeltaLog
 
 	m     *match.Matcher // lazy matcher over the current graph
 	eq    *eqrel.Eq
@@ -122,6 +127,11 @@ func (e *Engine) Steps() []chase.Step { return e.steps }
 // LastStats reports the work done by the most recent Apply.
 func (e *Engine) LastStats() Stats { return e.stats }
 
+// SetLog installs the write-ahead hook handed to the graph on every
+// subsequent Apply: it receives each delta's normalized ops before any
+// mutation (see graph.ApplyDeltaLogged). Pass nil to disable.
+func (e *Engine) SetLog(fn graph.DeltaLog) { e.log = fn }
+
 // rebuildMatcher compiles the key set against the current graph in
 // lazy mode. It is cheap — O(‖Σ‖) — and runs once per Apply so that
 // new predicates, types and constants resolve and no stale cached
@@ -155,14 +165,65 @@ func (e *Engine) rebuildMatcher() error {
 // materialized over keyed entities and sorted. The delta is applied
 // atomically: on error neither the graph nor the fixpoint changes.
 func (e *Engine) Apply(d *graph.Delta) (added, removed []eqrel.Pair, err error) {
-	res, err := e.g.ApplyDelta(d)
-	if err != nil {
-		return nil, nil, err
+	return e.ApplyAll([]*graph.Delta{d}, 1)
+}
+
+// ApplyAll mutates the graph by every delta and repairs the fixpoint
+// with ONE maintenance pass over the merged changes — the batched
+// write path. The graph mutations fan out over the given number of
+// workers (engine.Workers semantics), so deltas with disjoint shard
+// footprints apply concurrently; overlapping deltas serialize inside
+// the store in plan order, which is also WAL order.
+//
+// Each delta is individually atomic, but the batch is not: a delta
+// that fails validation is skipped while the others apply, and the
+// joined errors are returned alongside the repair result. Batches
+// whose deltas must all apply or none should therefore be
+// pre-validated or submitted one delta at a time. Deltas in one batch
+// should be independent — when they conflict, their serialization
+// order (and with it, which of two conflicting ops wins) is
+// unspecified.
+func (e *Engine) ApplyAll(ds []*graph.Delta, workers int) (added, removed []eqrel.Pair, err error) {
+	results := make([]*graph.DeltaResult, len(ds))
+	errs := make([]error, len(ds))
+	apply := func(i int) {
+		if ds[i] == nil {
+			return
+		}
+		results[i], errs[i] = e.g.ApplyDeltaLogged(ds[i], e.log)
 	}
+	if len(ds) == 1 {
+		apply(0)
+	} else {
+		engine.Parallel(engine.Workers(workers), len(ds), apply)
+	}
+	res := &graph.DeltaResult{}
+	for i, r := range results {
+		if errs[i] != nil || r == nil {
+			continue
+		}
+		res.AddedEntities = append(res.AddedEntities, r.AddedEntities...)
+		res.AddedTriples = append(res.AddedTriples, r.AddedTriples...)
+		res.RemovedTriples = append(res.RemovedTriples, r.RemovedTriples...)
+		res.RemovedEntities = append(res.RemovedEntities, r.RemovedEntities...)
+	}
+	err = errors.Join(errs...)
 	e.stats = Stats{}
 	if res.Empty() {
-		return nil, nil, nil
+		return nil, nil, err
 	}
+	added, removed, rerr := e.repair(res)
+	if rerr != nil {
+		return nil, nil, errors.Join(err, rerr)
+	}
+	return added, removed, err
+}
+
+// repair re-establishes chase(G, Σ) after the graph absorbed the
+// merged delta result: provenance-driven invalidation for the
+// removals, d-hop affected-region re-chase for the additions, and the
+// dependency worklist for recursive cascades.
+func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, err error) {
 	if err := e.rebuildMatcher(); err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// Non-unix platforms get no advisory lock: single-opener discipline is
+// the caller's responsibility there.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

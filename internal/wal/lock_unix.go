@@ -1,0 +1,33 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/wal.lock, rejecting
+// a second opener (another Store, a concurrent Replay, another
+// process) instead of letting it truncate or interleave with a live
+// writer's log. The lock dies with the process, so a crash never
+// wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/wal.lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: lock: %v", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is already open in another store or process", dir)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

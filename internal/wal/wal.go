@@ -1,0 +1,577 @@
+// Package wal is the durable delta log of the write path: an
+// append-only file of length-prefixed, CRC-protected binary records,
+// each one the *normalized* op list of a planned delta (see
+// internal/graph/plan.go — the write-ahead hook hands records over in
+// plan order, which is the order the deltas serialize in), plus a
+// snapshot file that compacts the log.
+//
+// A record stores the delta at name level (external entity IDs, value
+// literals, predicate names), so replaying the records in log order
+// against the snapshot graph reconstructs the store byte-identically:
+// normalized records are exact net effects, and allocation order is
+// plan order, which is log order.
+//
+// The snapshot carries the graph in the canonical text format plus the
+// matcher's identified pairs at the snapshot point; the pairs let an
+// opener cross-check that re-deriving the fixpoint over the snapshot
+// graph reproduces the state the snapshot was taken from. A snapshot
+// records the sequence number it covers; records with seq <= that are
+// skipped on replay, which closes the crash window between snapshot
+// rename and log truncation.
+//
+// Torn tails are expected: a crash mid-append leaves a short or
+// CRC-broken final record, which Open drops by truncating the file at
+// the last good offset.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"graphkeys/internal/graph"
+)
+
+// SyncPolicy selects the append durability of the log.
+type SyncPolicy int
+
+const (
+	// SyncNone appends without fsync; the OS decides when bytes reach
+	// the disk. A crash may lose the most recent records but never
+	// corrupts the prefix.
+	SyncNone SyncPolicy = iota
+	// SyncAlways fsyncs after every appended record.
+	SyncAlways
+)
+
+const (
+	logName      = "wal.log"
+	snapName     = "snapshot"
+	logMagic     = "GKWALOG1"
+	snapHeader   = "#gkwal-snapshot v1"
+	snapGraphSep = "#graph"
+)
+
+// Record is one logged delta: its sequence number and its normalized
+// ops.
+type Record struct {
+	Seq uint64
+	Ops []graph.DeltaOp
+}
+
+// Store is an open WAL directory. Append is safe for concurrent use;
+// the loader methods (SnapshotGraph, SnapshotPairs, Records) report
+// the state found at Open.
+type Store struct {
+	dir    string
+	policy SyncPolicy
+
+	mu   sync.Mutex
+	f    *os.File
+	lock *os.File // exclusive dir lock (see lockDir)
+	off  int64    // current append offset (end of the good prefix)
+	seq  uint64   // last assigned sequence number
+
+	snapSeq   uint64
+	snapGraph *graph.Graph
+	snapPairs [][2]string
+	records   []Record
+}
+
+// Open opens (creating if needed) the WAL directory: it takes the
+// directory's exclusive lock (a second opener — Store, Replay, or
+// another process — is rejected rather than allowed to truncate or
+// interleave with a live writer), loads the snapshot if one exists,
+// scans the log dropping a torn tail, and leaves the log ready for
+// appends.
+func Open(dir string, policy SyncPolicy) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %v", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, policy: policy, lock: lock}
+	if err := s.loadSnapshot(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	if err := s.openLog(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	return s, nil
+}
+
+// SnapshotGraph returns the snapshot's graph, or nil if the directory
+// has no snapshot.
+func (s *Store) SnapshotGraph() *graph.Graph { return s.snapGraph }
+
+// SnapshotPairs returns the identified entity pairs stored with the
+// snapshot (each {A, B} by external ID), or nil without a snapshot.
+func (s *Store) SnapshotPairs() [][2]string { return s.snapPairs }
+
+// SnapshotSeq returns the sequence number the snapshot covers (0
+// without a snapshot).
+func (s *Store) SnapshotSeq() uint64 { return s.snapSeq }
+
+// Records returns the log records found at Open that are not covered
+// by the snapshot, in log order.
+func (s *Store) Records() []Record { return s.records }
+
+// Seq returns the last assigned sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Append encodes and appends one record, fsyncing per the policy, and
+// returns its sequence number. Callers that need log order to match an
+// external serialization (the graph's plan order) must call Append
+// inside that serialization — the write path's DeltaLog hook does.
+//
+// On any write or fsync failure the log is rewound to its pre-call
+// state, so a delta the caller aborted never leaves a replayable (or
+// prefix-poisoning partial) record behind; if even the rewind fails,
+// the store marks itself broken and refuses further appends rather
+// than risk acknowledged records landing after garbage.
+func (s *Store) Append(ops []graph.DeltaOp) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, fmt.Errorf("wal: store is closed or broken")
+	}
+	s.seq++
+	payload := encodePayload(s.seq, ops)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	rec := append(hdr[:], payload...)
+	fail := func(what string, err error) (uint64, error) {
+		s.seq--
+		if terr := s.f.Truncate(s.off); terr != nil {
+			s.f.Close()
+			s.f = nil
+			return 0, fmt.Errorf("wal: %s: %v (rewind also failed: %v; store disabled)", what, err, terr)
+		}
+		if _, serr := s.f.Seek(s.off, io.SeekStart); serr != nil {
+			s.f.Close()
+			s.f = nil
+			return 0, fmt.Errorf("wal: %s: %v (rewind also failed: %v; store disabled)", what, err, serr)
+		}
+		return 0, fmt.Errorf("wal: %s: %v", what, err)
+	}
+	if _, err := s.f.Write(rec); err != nil {
+		return fail("append", err)
+	}
+	if s.policy == SyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return fail("fsync", err)
+		}
+	}
+	s.off += int64(len(rec))
+	return s.seq, nil
+}
+
+// Sync flushes the log to disk regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// WriteSnapshot atomically writes a snapshot of the given graph and
+// pairs covering every record appended so far, then truncates the log.
+// A crash between the two steps is safe: the snapshot's sequence
+// number makes the still-present records no-ops on replay.
+func (s *Store) WriteSnapshot(g *graph.Graph, pairs [][2]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The snapshot is line/tab-structured text, which cannot represent
+	// entity IDs, type names or predicates containing tabs or newlines
+	// (the binary log records them fine). Refuse rather than write a
+	// snapshot that can never be reopened — the state stays replayable
+	// from the log, which this method has not yet truncated.
+	if kind, name := unrepresentable(g); kind != "" {
+		return fmt.Errorf("wal: snapshot: %s %q contains a tab or newline, unrepresentable in the snapshot text format; state remains replayable from the log", kind, name)
+	}
+	// The graph text format is triples-only, so entities without any
+	// incident triple (never attached, or stripped by removals) would
+	// be lost by compaction even though the log recorded them; they
+	// ride along as explicit id:Type lines.
+	var isolated []string
+	g.EachEntity(func(n graph.NodeID) {
+		if g.Degree(n) == 0 {
+			isolated = append(isolated, g.Label(n)+":"+g.TypeName(g.TypeOf(n)))
+		}
+	})
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s seq=%d pairs=%d isolated=%d\n", snapHeader, s.seq, len(pairs), len(isolated))
+	for _, pr := range pairs {
+		fmt.Fprintf(&buf, "%s\t%s\n", pr[0], pr[1])
+	}
+	for _, e := range isolated {
+		fmt.Fprintln(&buf, e)
+	}
+	fmt.Fprintln(&buf, snapGraphSep)
+	if err := g.WriteText(&buf); err != nil {
+		return fmt.Errorf("wal: snapshot graph: %v", err)
+	}
+	// The snapshot must be durably on disk before the log may shrink:
+	// write + fsync the temp file (aborting on any failure), rename it
+	// into place, fsync the directory so the rename survives a crash,
+	// and only then truncate the log.
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %v", err)
+	}
+	if _, err := tf.Write(buf.Bytes()); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: snapshot write: %v", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: snapshot fsync: %v", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %v", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %v", err)
+	}
+	if df, err := os.Open(s.dir); err == nil {
+		if serr := df.Sync(); serr != nil {
+			df.Close()
+			return fmt.Errorf("wal: snapshot dir fsync: %v", serr)
+		}
+		df.Close()
+	}
+	s.snapSeq = s.seq
+	if s.f != nil {
+		if err := s.f.Truncate(int64(len(logMagic))); err != nil {
+			return fmt.Errorf("wal: truncate: %v", err)
+		}
+		if _, err := s.f.Seek(int64(len(logMagic)), io.SeekStart); err != nil {
+			return fmt.Errorf("wal: seek: %v", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %v", err)
+		}
+		s.off = int64(len(logMagic))
+	}
+	return nil
+}
+
+// Close closes the log file and releases the directory lock. Further
+// Appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	unlockDir(s.lock)
+	s.lock = nil
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// unrepresentable scans the graph's names for characters the
+// line/tab-structured snapshot cannot carry, returning the kind of
+// name that offends ("" if none) and the name itself. Value literals
+// are exempt: the text format Go-quotes them.
+func unrepresentable(g *graph.Graph) (kind, name string) {
+	bad := func(s string) bool { return strings.ContainsAny(s, "\t\n") }
+	g.EachEntity(func(n graph.NodeID) {
+		if kind == "" && bad(g.Label(n)) {
+			kind, name = "entity ID", g.Label(n)
+		}
+		if kind == "" && bad(g.TypeName(g.TypeOf(n))) {
+			kind, name = "type name", g.TypeName(g.TypeOf(n))
+		}
+	})
+	if kind == "" {
+		g.EachTriple(func(s graph.NodeID, p graph.PredID, o graph.NodeID) {
+			if kind == "" && bad(g.PredName(p)) {
+				kind, name = "predicate", g.PredName(p)
+			}
+		})
+	}
+	return kind, name
+}
+
+// Replay reconstructs the graph recorded in the WAL directory: the
+// snapshot graph (or an empty graph) with every logged delta applied in
+// log order. It returns the graph and the records applied on top of
+// the snapshot. The caller re-drives whatever it maintains over the
+// graph (graphkeys.OpenMatcher re-derives the chase fixpoint and
+// replays the records through the incremental engine).
+func Replay(dir string) (*graph.Graph, []Record, error) {
+	s, err := Open(dir, SyncNone)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.Close()
+	g := s.SnapshotGraph()
+	if g == nil {
+		g = graph.New()
+	}
+	for _, rec := range s.Records() {
+		if _, err := g.ApplyDelta(graph.NewDeltaOps(rec.Ops)); err != nil {
+			return nil, nil, fmt.Errorf("wal: replay seq %d: %v", rec.Seq, err)
+		}
+	}
+	return g, s.Records(), nil
+}
+
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.dir, snapName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %v", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("wal: snapshot header: %v", err)
+	}
+	var seq uint64
+	var nPairs, nIsolated int
+	if _, err := fmt.Sscanf(strings.TrimSpace(header), snapHeader+" seq=%d pairs=%d isolated=%d", &seq, &nPairs, &nIsolated); err != nil {
+		return fmt.Errorf("wal: snapshot header %q: %v", strings.TrimSpace(header), err)
+	}
+	pairs := make([][2]string, 0, nPairs)
+	for i := 0; i < nPairs; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("wal: snapshot pairs: %v", err)
+		}
+		a, b, ok := strings.Cut(strings.TrimRight(line, "\n"), "\t")
+		if !ok {
+			return fmt.Errorf("wal: snapshot pair line %q", line)
+		}
+		pairs = append(pairs, [2]string{a, b})
+	}
+	isolated := make([]string, 0, nIsolated)
+	for i := 0; i < nIsolated; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("wal: snapshot isolated entities: %v", err)
+		}
+		isolated = append(isolated, strings.TrimRight(line, "\n"))
+	}
+	sep, err := br.ReadString('\n')
+	if err != nil || strings.TrimSpace(sep) != snapGraphSep {
+		return fmt.Errorf("wal: snapshot graph separator missing")
+	}
+	g, err := graph.ParseText(br)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot graph: %v", err)
+	}
+	for _, tok := range isolated {
+		// As in the graph text format, the LAST colon splits id from
+		// type (entity IDs may contain colons).
+		i := strings.LastIndexByte(tok, ':')
+		if i <= 0 || i == len(tok)-1 {
+			return fmt.Errorf("wal: snapshot isolated entity %q", tok)
+		}
+		if _, err := g.AddEntity(tok[:i], tok[i+1:]); err != nil {
+			return fmt.Errorf("wal: snapshot isolated entity %q: %v", tok, err)
+		}
+	}
+	s.snapSeq, s.seq = seq, seq
+	s.snapGraph = g
+	s.snapPairs = pairs
+	return nil
+}
+
+func (s *Store) openLog() error {
+	path := filepath.Join(s.dir, logName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %v", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %v", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(logMagic); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: write magic: %v", err)
+		}
+		s.f = f
+		s.off = int64(len(logMagic))
+		return nil
+	}
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != logMagic {
+		f.Close()
+		return fmt.Errorf("wal: %s is not a WAL log", path)
+	}
+	// Scan records, keeping the good prefix; stop at the first short or
+	// corrupt record and truncate there (torn tail).
+	good := int64(len(logMagic))
+	br := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		// The length prefix is untrusted (a torn tail can leave garbage
+		// there): bound it by the bytes actually left in the file before
+		// allocating, or a corrupt header could demand gigabytes on the
+		// very recovery path meant to survive it.
+		if int64(n) > st.Size()-good-8 {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			break
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		good += 8 + int64(n)
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		if rec.Seq > s.snapSeq {
+			s.records = append(s.records, rec)
+		}
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: truncate torn tail: %v", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %v", err)
+	}
+	s.f = f
+	s.off = good
+	return nil
+}
+
+// Payload encoding: uvarint seq, uvarint op count, then per op one
+// kind byte, one flag byte (bit 0: ObjectIsValue), and the kind's
+// string fields as uvarint-length-prefixed bytes.
+func encodePayload(seq uint64, ops []graph.DeltaOp) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	str := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		var flags byte
+		if op.ObjectIsValue {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		switch op.Kind {
+		case graph.OpAddEntity:
+			str(op.ID)
+			str(op.TypeName)
+		case graph.OpRemoveEntity:
+			str(op.ID)
+		case graph.OpAddTriple, graph.OpRemoveTriple:
+			str(op.Subject)
+			str(op.Pred)
+			str(op.Object)
+		}
+	}
+	return buf
+}
+
+func decodePayload(payload []byte) (Record, error) {
+	r := bytes.NewReader(payload)
+	fail := func(what string) (Record, error) {
+		return Record{}, fmt.Errorf("wal: record %s", what)
+	}
+	seq, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fail("seq")
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fail("op count")
+	}
+	if n > uint64(len(payload)) {
+		return fail("op count out of range")
+	}
+	str := func() (string, error) {
+		l, err := binary.ReadUvarint(r)
+		if err != nil || l > uint64(r.Len()) {
+			return "", fmt.Errorf("bad string")
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	rec := Record{Seq: seq, Ops: make([]graph.DeltaOp, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return fail("op kind")
+		}
+		flags, err := r.ReadByte()
+		if err != nil {
+			return fail("op flags")
+		}
+		op := graph.DeltaOp{Kind: graph.OpKind(kind), ObjectIsValue: flags&1 != 0}
+		switch op.Kind {
+		case graph.OpAddEntity:
+			if op.ID, err = str(); err == nil {
+				op.TypeName, err = str()
+			}
+		case graph.OpRemoveEntity:
+			op.ID, err = str()
+		case graph.OpAddTriple, graph.OpRemoveTriple:
+			if op.Subject, err = str(); err == nil {
+				if op.Pred, err = str(); err == nil {
+					op.Object, err = str()
+				}
+			}
+		default:
+			return fail("kind unknown")
+		}
+		if err != nil {
+			return fail("fields")
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if r.Len() != 0 {
+		return fail("trailing bytes")
+	}
+	return rec, nil
+}

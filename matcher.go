@@ -2,12 +2,15 @@ package graphkeys
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
+	"graphkeys/internal/engine"
 	"graphkeys/internal/eqrel"
 	"graphkeys/internal/graph"
 	"graphkeys/internal/inc"
 	"graphkeys/internal/match"
+	"graphkeys/internal/wal"
 )
 
 // This file is the public surface of the incremental entity-matching
@@ -90,9 +93,11 @@ type Matcher struct {
 	// graph reads through Graph() need no lock to be race-free (the
 	// sharded store guarantees that), but the Matcher's own accessors
 	// take the read lock so graph and match state stay consistent.
-	mu  sync.RWMutex
-	g   *Graph
-	eng *inc.Engine
+	mu      sync.RWMutex
+	g       *Graph
+	eng     *inc.Engine
+	workers int
+	store   *wal.Store // non-nil for durable matchers (OpenMatcher)
 }
 
 // NewMatcher computes chase(G, Σ) with the sequential chase and
@@ -107,7 +112,7 @@ func NewMatcher(g *Graph, ks *KeySet, opts Options) (*Matcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Matcher{g: g, eng: eng}, nil
+	return &Matcher{g: g, eng: eng, workers: opts.Workers}, nil
 }
 
 // Apply mutates the graph by the delta and repairs the fixpoint,
@@ -125,6 +130,33 @@ func (m *Matcher) Apply(d *Delta) (added, removed []Pair, err error) {
 		return nil, nil, err
 	}
 	return m.toMatches(addedPairs), m.toMatches(removedPairs), nil
+}
+
+// ApplyBatch mutates the graph by every delta and repairs the fixpoint
+// with one maintenance pass over the merged changes, instead of one
+// per delta the way repeated Apply calls would. The graph mutations of
+// deltas touching disjoint store shards run concurrently (Options
+// .Workers writers); overlapping deltas serialize inside the store.
+//
+// Each delta stays individually atomic, but the batch is not: deltas
+// that fail validation are skipped, the rest apply, and their joined
+// errors return alongside the (still correct) repair result. Deltas in
+// one batch should be independent of each other — when two conflict,
+// their serialization order is unspecified.
+func (m *Matcher) ApplyBatch(ds []*Delta) (added, removed []Pair, err error) {
+	if len(ds) == 0 {
+		return nil, nil, nil
+	}
+	gds := make([]*graph.Delta, len(ds))
+	for i, d := range ds {
+		if d != nil {
+			gds[i] = &d.d
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	addedPairs, removedPairs, err := m.eng.ApplyAll(gds, engine.Workers(m.workers))
+	return m.toMatches(addedPairs), m.toMatches(removedPairs), err
 }
 
 // Result materializes the current chase(G, Σ) as a Result, identical
@@ -188,4 +220,149 @@ func (g *Graph) EachTriple(fn func(subject EntityID, predicate, object string, o
 	g.g.EachTriple(func(s graph.NodeID, p graph.PredID, o graph.NodeID) {
 		fn(g.g.Label(s), g.g.PredName(p), g.g.Label(o), g.g.IsValue(o))
 	})
+}
+
+// EachEntity calls fn for every live entity with its type, in
+// insertion order. It exists so callers can seed deltas (e.g. when
+// loading an existing graph into a durable matcher).
+func (g *Graph) EachEntity(fn func(id EntityID, typeName string)) {
+	g.g.EachEntity(func(n graph.NodeID) {
+		fn(g.g.Label(n), g.g.TypeName(g.g.TypeOf(n)))
+	})
+}
+
+// Durability selects the WAL append policy of a durable Matcher (see
+// OpenMatcher). NewMatcher ignores it: durability is a property of the
+// log, and only OpenMatcher has one.
+type Durability int
+
+const (
+	// DurabilityAppend logs every applied delta, leaving fsync to the
+	// OS: a crash may lose the most recently applied deltas but never
+	// corrupts the log prefix.
+	DurabilityAppend Durability = iota
+	// DurabilityFsync additionally fsyncs the log before each delta
+	// applies, so an acknowledged Apply survives any crash.
+	DurabilityFsync
+)
+
+// OpenMatcher opens (creating if needed) a durable Matcher backed by
+// the write-ahead log in dir: the snapshot graph (or an empty one) is
+// loaded, its fixpoint chase(G, Σ) derived, and the logged deltas are
+// replayed through the incremental engine — reconstructing both the
+// graph and the match state the previous process reached. Every
+// subsequent Apply/ApplyBatch appends its normalized deltas to the log
+// (write-ahead, in the order the deltas serialize) under
+// opts.Durability; deltas that coalesce to a no-op are not logged.
+//
+// If the snapshot stores identified pairs, OpenMatcher cross-checks
+// that re-deriving the fixpoint reproduces them and fails otherwise.
+// Call Snapshot to compact the log and Close when done.
+func OpenMatcher(dir string, ks *KeySet, opts Options) (*Matcher, error) {
+	policy := wal.SyncNone
+	if opts.Durability == DurabilityFsync {
+		policy = wal.SyncAlways
+	}
+	store, err := wal.Open(dir, policy)
+	if err != nil {
+		return nil, err
+	}
+	gg := store.SnapshotGraph()
+	if gg == nil {
+		gg = graph.New()
+	}
+	m, err := NewMatcher(&Graph{g: gg}, ks, opts)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if want := store.SnapshotPairs(); want != nil {
+		if got := m.pairLabels(); !samePairLabels(got, want) {
+			store.Close()
+			return nil, fmt.Errorf("graphkeys: snapshot in %s stores %d pairs but re-deriving the fixpoint yields %d — snapshot and key set disagree", dir, len(want), len(got))
+		}
+	}
+	// Replay all records as one batch with a single worker: mutations
+	// apply sequentially in log order (later records may depend on
+	// earlier ones), but the incremental repair runs once over the
+	// merged result instead of once per record — the same amortization
+	// ApplyBatch buys on the write path, here cutting reopen latency.
+	if recs := store.Records(); len(recs) > 0 {
+		ds := make([]*graph.Delta, len(recs))
+		for i, rec := range recs {
+			ds[i] = graph.NewDeltaOps(rec.Ops)
+		}
+		if _, _, err := m.eng.ApplyAll(ds, 1); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("graphkeys: replay of WAL records %d..%d: %v", recs[0].Seq, recs[len(recs)-1].Seq, err)
+		}
+	}
+	m.eng.SetLog(func(ops []graph.DeltaOp) error {
+		_, err := store.Append(ops)
+		return err
+	})
+	m.store = store
+	return m, nil
+}
+
+// Snapshot compacts a durable Matcher's log: it atomically writes the
+// current graph and identified pairs as the new snapshot and truncates
+// the WAL. It errors on matchers not opened with OpenMatcher.
+func (m *Matcher) Snapshot() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store == nil {
+		return fmt.Errorf("graphkeys: Snapshot on a non-durable Matcher")
+	}
+	return m.store.WriteSnapshot(m.g.g, m.pairLabels())
+}
+
+// Close releases a durable Matcher's log; the Matcher stays readable
+// but further Applies fail at the log. Close on a non-durable Matcher
+// is a no-op.
+func (m *Matcher) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store == nil {
+		return nil
+	}
+	return m.store.Close()
+}
+
+// pairLabels materializes the current fixpoint as sorted external-ID
+// pairs. Caller holds m.mu.
+func (m *Matcher) pairLabels() [][2]string {
+	pairs := m.eng.Pairs()
+	out := make([][2]string, 0, len(pairs))
+	for _, pr := range pairs {
+		a, b := m.g.g.Label(graph.NodeID(pr.A)), m.g.g.Label(graph.NodeID(pr.B))
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, [2]string{a, b})
+	}
+	sortPairLabels(out)
+	return out
+}
+
+func sortPairLabels(ps [][2]string) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+func samePairLabels(a, b [][2]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortPairLabels(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,241 @@
+package graphkeys
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// batchFixture builds a graph of grouped persons; deltas built by
+// batchDelta stay inside one group, so batch members are independent.
+func batchFixture(t *testing.T, groups, perGroup int) (*Graph, *KeySet) {
+	t.Helper()
+	g := NewGraph()
+	for w := 0; w < groups; w++ {
+		for i := 0; i < perGroup; i++ {
+			id := fmt.Sprintf("g%d-p%d", w, i)
+			if err := g.AddEntity(id, "person"); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, i/2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ks, err := ParseKeys(`key P for person {
+		x -email-> e*
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ks
+}
+
+func batchDelta(w, round, perGroup int) *Delta {
+	i := round % perGroup
+	id := fmt.Sprintf("g%d-p%d", w, i)
+	d := NewDelta()
+	d.RemoveValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, i/2))
+	d.AddValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, (i/2+round)%perGroup))
+	if round%5 == 2 {
+		other := fmt.Sprintf("g%d-p%d", w, (i+1)%perGroup)
+		d.RemoveEntity(other)
+		d.AddEntity(other, "person")
+		d.AddValueTriple(other, "email", fmt.Sprintf("g%d-fresh%d", w, round))
+	}
+	return d
+}
+
+// TestApplyBatchMatchesSerialApplication: concurrent ApplyBatch over
+// disjoint-group deltas, with readers hammering the matcher, must end
+// in exactly the state serial per-delta application reaches. Run under
+// -race by the CI race job.
+func TestApplyBatchMatchesSerialApplication(t *testing.T) {
+	const groups = 8
+	const perGroup = 10
+	const rounds = 6
+
+	g, ks := batchFixture(t, groups, perGroup)
+	m, err := NewMatcher(g, ks, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				a := fmt.Sprintf("g%d-p%d", (r+i)%groups, i%perGroup)
+				b := fmt.Sprintf("g%d-p%d", (r+i)%groups, (i+2)%perGroup)
+				_ = m.Same(a, b)
+				if i%9 == 0 {
+					_ = m.Result()
+				}
+				_, _ = m.Graph().HasEntity(a)
+			}
+		}(r)
+	}
+	for round := 0; round < rounds; round++ {
+		batch := make([]*Delta, groups)
+		for w := 0; w < groups; w++ {
+			batch[w] = batchDelta(w, round, perGroup)
+		}
+		if _, _, err := m.ApplyBatch(batch); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Serial reference: same deltas, one at a time, on a fresh fixture.
+	sg, _ := batchFixture(t, groups, perGroup)
+	sm, err := NewMatcher(sg, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < rounds; round++ {
+		for w := 0; w < groups; w++ {
+			if _, _, err := sm.Apply(batchDelta(w, round, perGroup)); err != nil {
+				t.Fatalf("serial round %d group %d: %v", round, w, err)
+			}
+		}
+	}
+	var got, want bytes.Buffer
+	if err := m.Graph().Write(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Graph().Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("batched graph diverges from serial:\nbatched:\n%s\nserial:\n%s", got.String(), want.String())
+	}
+	if !reflect.DeepEqual(sortedPairs(m.Result().Matches), sortedPairs(sm.Result().Matches)) {
+		t.Fatalf("batched pairs diverge from serial:\nbatched: %v\nserial:  %v",
+			m.Result().Matches, sm.Result().Matches)
+	}
+}
+
+// TestApplyBatchPartialFailure: a batch member that fails validation
+// is skipped and reported while the rest of the batch applies.
+func TestApplyBatchPartialFailure(t *testing.T) {
+	g, ks := batchFixture(t, 2, 4)
+	m, err := NewMatcher(g, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := NewDelta().AddValueTriple("g0-p0", "email", "new-mail")
+	bad := NewDelta().AddEntityTriple("g0-p0", "knows", "no-such-entity")
+	added, _, err := m.ApplyBatch([]*Delta{good, bad})
+	if err == nil {
+		t.Fatal("bad batch member did not surface an error")
+	}
+	_ = added
+	// The good delta applied: p0 now shares new-mail with nobody, but
+	// the triple must be present.
+	found := false
+	m.Graph().EachTriple(func(s EntityID, p, o string, isVal bool) {
+		if s == "g0-p0" && p == "email" && o == "new-mail" && isVal {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("good batch member did not apply")
+	}
+	// And the state is still coherent with a full re-chase.
+	full, err := Match(m.Graph(), ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Result().Matches, full.Matches) {
+		t.Fatal("matcher state diverges from full re-chase after partial batch")
+	}
+}
+
+// TestWriterCoalesces: a burst of small deltas through the async
+// Writer lands in fewer batches than deltas and ends in the serial
+// state. Every delta targets a distinct entity — Writer batches may
+// reorder conflicting deltas, so a stream's deltas must be
+// independent (the Writer contract).
+func TestWriterCoalesces(t *testing.T) {
+	const groups = 6
+	const perGroup = 8
+	const deltas = groups * perGroup
+
+	// writerDelta targets exactly entity i, so all deltas commute.
+	writerDelta := func(i int) *Delta {
+		w, j := i/perGroup, i%perGroup
+		id := fmt.Sprintf("g%d-p%d", w, j)
+		d := NewDelta()
+		d.RemoveValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, j/2))
+		d.AddValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, (j/2+3)%perGroup))
+		if i%5 == 2 {
+			d.RemoveEntity(id)
+			d.AddEntity(id, "person")
+			d.AddValueTriple(id, "email", fmt.Sprintf("g%d-fresh%d", w, i))
+		}
+		return d
+	}
+
+	g, ks := batchFixture(t, groups, perGroup)
+	m, err := NewMatcher(g, ks, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.NewWriter()
+	for i := 0; i < deltas; i++ {
+		if err := w.Apply(writerDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	batches, applied := w.Stats()
+	if applied != deltas {
+		t.Fatalf("writer applied %d deltas, want %d", applied, deltas)
+	}
+	if batches == 0 || batches > deltas {
+		t.Fatalf("writer used %d batches for %d deltas", batches, deltas)
+	}
+	// nil deltas are ignored; real Applies after Close fail.
+	if err := w.Apply(nil); err != nil {
+		t.Fatalf("nil delta errored: %v", err)
+	}
+	if err := w.Apply(writerDelta(0)); err == nil {
+		t.Fatal("Apply after Close succeeded")
+	}
+
+	sg, _ := batchFixture(t, groups, perGroup)
+	sm, err := NewMatcher(sg, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < deltas; i++ {
+		if _, _, err := sm.Apply(writerDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got, want bytes.Buffer
+	if err := m.Graph().Write(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Graph().Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("writer-applied graph diverges from serial application")
+	}
+	if !reflect.DeepEqual(sortedPairs(m.Result().Matches), sortedPairs(sm.Result().Matches)) {
+		t.Fatal("writer-applied pairs diverge from serial application")
+	}
+}

@@ -1,0 +1,285 @@
+package graphkeys
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// walFixtureKeys returns a key set with a value-anchored key and a
+// recursive key, so the replayed fixpoint exercises both repair paths.
+func walFixtureKeys(t *testing.T) *KeySet {
+	t.Helper()
+	ks, err := ParseKeys(`
+key P for person {
+    x -email-> e*
+}
+key B for band {
+    x -name_of-> n*
+    x -led_by-> $y:person
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+// seedDelta builds the initial population as one delta: persons with
+// colliding emails, bands led by them.
+func seedDelta(ents int) *Delta {
+	d := NewDelta()
+	for i := 0; i < ents; i++ {
+		id := fmt.Sprintf("p%d", i)
+		d.AddEntity(id, "person")
+		d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", i/2))
+	}
+	for i := 0; i < ents/2; i++ {
+		id := fmt.Sprintf("b%d", i)
+		d.AddEntity(id, "band")
+		d.AddValueTriple(id, "name_of", fmt.Sprintf("band%d", i/2))
+		d.AddEntityTriple(id, "led_by", fmt.Sprintf("p%d", i%ents))
+	}
+	return d
+}
+
+// randomDelta mirrors the PR 3 differential harness's mutation mix:
+// remove/re-add value triples, flip emails, occasionally remove and
+// re-create a whole entity.
+func randomDelta(rng *rand.Rand, ents int, round int) *Delta {
+	d := NewDelta()
+	switch rng.Intn(4) {
+	case 0: // email churn
+		i := rng.Intn(ents)
+		id := fmt.Sprintf("p%d", i)
+		d.RemoveValueTriple(id, "email", fmt.Sprintf("mail%d", i/2))
+		d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", rng.Intn(ents/2+1)))
+	case 1: // band rename
+		i := rng.Intn(ents/2 + 1)
+		id := fmt.Sprintf("b%d", i%(ents/2))
+		d.RemoveValueTriple(id, "name_of", fmt.Sprintf("band%d", (i%(ents/2))/2))
+		d.AddValueTriple(id, "name_of", fmt.Sprintf("band%d", rng.Intn(ents/4+1)))
+	case 2: // entity churn: drop a person and re-add with a fresh email
+		i := rng.Intn(ents)
+		id := fmt.Sprintf("p%d", i)
+		d.RemoveEntity(id)
+		d.AddEntity(id, "person")
+		d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", rng.Intn(ents/2+1)))
+	case 3: // a delta with internal churn that partially coalesces
+		i := rng.Intn(ents)
+		id := fmt.Sprintf("p%d", i)
+		lit := fmt.Sprintf("note-%d", round)
+		d.AddValueTriple(id, "note", lit)
+		d.AddValueTriple(id, "note", lit)
+		d.RemoveValueTriple(id, "note", lit)
+	}
+	return d
+}
+
+// sortedPairs normalizes matches into sorted {min, max} label pairs,
+// the ID-order-independent form of chase(G, Σ).
+func sortedPairs(ms []Pair) []Pair {
+	out := make([]Pair, len(ms))
+	for i, m := range ms {
+		if m.A > m.B {
+			m.A, m.B = m.B, m.A
+		}
+		out[i] = m
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// runCrashReplay streams N random deltas through a durable matcher
+// with fsync'd WAL (optionally snapshotting midway), drops the
+// in-memory state, reopens the directory, and asserts the
+// reconstruction. Without a snapshot the replayed matcher is
+// byte-identical down to the dense node IDs, so the raw Matches lists
+// must match exactly; with a snapshot the graph text is still
+// byte-identical but IDs renumber from the canonical snapshot order,
+// so pairs compare as sorted label pairs.
+func runCrashReplay(t *testing.T, snapshotMidway bool) {
+	const ents = 24
+	const rounds = 30
+	dir := t.TempDir()
+	ks := walFixtureKeys(t)
+
+	m, err := OpenMatcher(dir, ks, Options{Durability: DurabilityFsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply(seedDelta(ents)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < rounds; round++ {
+		if _, _, err := m.Apply(randomDelta(rng, ents, round)); err != nil {
+			t.Fatal(err)
+		}
+		if snapshotMidway && round == rounds/2 {
+			if err := m.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wantMatches := m.Result().Matches
+	var wantGraph bytes.Buffer
+	if err := m.Graph().Write(&wantGraph); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the in-memory state without any graceful shutdown: the
+	// fsync'd WAL is all that survives.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m = nil
+
+	re, err := OpenMatcher(dir, ks, Options{Durability: DurabilityFsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	var gotGraph bytes.Buffer
+	if err := re.Graph().Write(&gotGraph); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotGraph.Bytes(), wantGraph.Bytes()) {
+		t.Fatalf("replayed graph diverges:\ngot:\n%s\nwant:\n%s", gotGraph.String(), wantGraph.String())
+	}
+	gotMatches := re.Result().Matches
+	if snapshotMidway {
+		if !reflect.DeepEqual(sortedPairs(gotMatches), sortedPairs(wantMatches)) {
+			t.Fatalf("replayed chase pairs diverge:\ngot:  %v\nwant: %v", gotMatches, wantMatches)
+		}
+	} else if !reflect.DeepEqual(gotMatches, wantMatches) {
+		t.Fatalf("replayed chase pairs not byte-identical:\ngot:  %v\nwant: %v", gotMatches, wantMatches)
+	}
+
+	// And the replayed fixpoint equals a from-scratch chase of the
+	// reconstructed graph (the usual differential closure).
+	full, err := Match(re.Graph(), ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re.Result().Matches, full.Matches) {
+		t.Fatal("replayed incremental state diverges from full re-chase")
+	}
+}
+
+// TestCrashReplayDifferential is the crash-replay differential test
+// over the pure log: replay reconstructs byte-identical chase pairs.
+func TestCrashReplayDifferential(t *testing.T) { runCrashReplay(t, false) }
+
+// TestCrashReplayDifferentialSnapshot covers the compaction path: a
+// snapshot midway, then more logged deltas, then crash and reopen.
+func TestCrashReplayDifferentialSnapshot(t *testing.T) { runCrashReplay(t, true) }
+
+// TestNoopDeltaWritesNoWALRecord pins the coalescing/WAL contract: a
+// delta that normalizes to a no-op leaves the log byte-identical.
+func TestNoopDeltaWritesNoWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	ks := walFixtureKeys(t)
+	m, err := OpenMatcher(dir, ks, Options{Durability: DurabilityFsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, _, err := m.Apply(seedDelta(8)); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "wal.log")
+	before, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	noop := NewDelta().
+		AddValueTriple("p0", "scratch", "v").
+		AddValueTriple("p0", "scratch", "v"). // dup
+		RemoveValueTriple("p0", "scratch", "v")
+	if _, _, err := m.Apply(noop); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("no-op delta grew the WAL by %d bytes", len(after)-len(before))
+	}
+}
+
+// TestSnapshotKeepsTriplelessEntities is the matcher-level regression
+// for snapshot compaction: an entity with no incident triples must
+// survive Snapshot + reopen and accept triples afterwards.
+func TestSnapshotKeepsTriplelessEntities(t *testing.T) {
+	dir := t.TempDir()
+	ks := walFixtureKeys(t)
+	m, err := OpenMatcher(dir, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply(seedDelta(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply(NewDelta().AddEntity("lonely", "person")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	re, err := OpenMatcher(dir, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok := re.Graph().HasEntity("lonely"); !ok {
+		t.Fatal("tripleless entity lost by snapshot compaction")
+	}
+	if _, _, err := re.Apply(NewDelta().AddValueTriple("lonely", "email", "mail0")); err != nil {
+		t.Fatalf("triple on revived entity: %v", err)
+	}
+	if !re.Same("lonely", "p0") {
+		t.Fatal("revived entity did not join p0's class")
+	}
+}
+
+// TestOpenMatcherDetectsSnapshotMismatch: a snapshot taken under one
+// key set must refuse to open under a key set deriving different
+// pairs.
+func TestOpenMatcherDetectsSnapshotMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ks := walFixtureKeys(t)
+	m, err := OpenMatcher(dir, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply(seedDelta(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	other, err := ParseKeys(`key Z for person {
+		x -nonexistent-> v*
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMatcher(dir, other, Options{}); err == nil {
+		t.Fatal("snapshot under a different key set opened without error")
+	}
+}

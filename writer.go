@@ -1,0 +1,153 @@
+package graphkeys
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Writer is the asynchronous front of a Matcher's write path for
+// high-rate streams of small deltas: Apply enqueues and returns
+// immediately, and a background goroutine drains whatever has queued
+// up into one Matcher.ApplyBatch — so under load the deltas coalesce
+// into ever-larger batches that pay for one incremental maintenance
+// pass instead of one per delta, and under light load each delta
+// still applies promptly.
+//
+// Batches apply in stream order, but deltas that fall into the same
+// batch apply concurrently — as with ApplyBatch, deltas of one stream
+// should be independent of one another, since the serialization order
+// of conflicting deltas inside a batch is unspecified. Errors are
+// sticky and fail-stop: the first per-delta failure is reported by
+// every subsequent Apply, Flush and Close, and new deltas are
+// rejected from then on (deltas already enqueued still drain; the
+// matcher state itself stays coherent, since a failed delta is
+// skipped). Create a fresh Writer to resume the stream.
+//
+// The queue is bounded (maxPending deltas): a producer that
+// sustainably outpaces the batcher blocks in Apply instead of growing
+// memory and batch latency without limit.
+type Writer struct {
+	m *Matcher
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Delta
+	busy   bool
+	closed bool
+	err    error
+
+	// enqueued and done are monotonic delta counters; batches apply in
+	// stream order, so done >= mark means every delta enqueued before
+	// the mark was taken has been processed (Flush's high-water mark —
+	// a sustained producer cannot starve a waiter).
+	enqueued int
+	done     int
+	// batches counts completed batches, for observability and
+	// coalescing tests.
+	batches int
+}
+
+// maxPending bounds the Writer queue: Apply blocks once this many
+// deltas are waiting for the batcher.
+const maxPending = 1024
+
+// NewWriter starts a Writer over the matcher. Close it when done.
+func (m *Matcher) NewWriter() *Writer {
+	w := &Writer{m: m}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+// Apply enqueues the delta and returns without waiting for it to be
+// applied, blocking only when the queue is full (backpressure). It
+// fails after Close, or once a previous delta has failed.
+func (w *Writer) Apply(d *Delta) error {
+	if d == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) >= maxPending && !w.closed && w.err == nil {
+		w.cond.Wait()
+	}
+	if w.closed {
+		return fmt.Errorf("graphkeys: Writer is closed")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.queue = append(w.queue, d)
+	w.enqueued++
+	w.cond.Broadcast()
+	return nil
+}
+
+// Flush blocks until every delta enqueued before the call has been
+// applied and returns the sticky error, if any. Deltas enqueued while
+// Flush waits are not waited for.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	mark := w.enqueued
+	for w.done < mark {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Close drains the queue, stops the background goroutine and returns
+// the sticky error. Further Applies fail.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		w.cond.Broadcast()
+	}
+	for len(w.queue) > 0 || w.busy {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Stats reports how many batches and deltas the writer has applied —
+// batches < deltas means enqueues coalesced.
+func (w *Writer) Stats() (batches, deltas int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.batches, w.done
+}
+
+func (w *Writer) loop() {
+	w.mu.Lock()
+	for {
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 {
+			// Closed and drained.
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.busy = true
+		// Wake producers blocked on the (now empty) queue so they
+		// refill it while this batch applies.
+		w.cond.Broadcast()
+		w.mu.Unlock()
+
+		_, _, err := w.m.ApplyBatch(batch)
+
+		w.mu.Lock()
+		w.busy = false
+		w.batches++
+		w.done += len(batch)
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.cond.Broadcast()
+	}
+}
