@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"graphkeys/internal/graph"
+	"graphkeys/internal/inc"
+	"graphkeys/internal/testutil"
+	"graphkeys/internal/wal"
+)
+
+// This file benchmarks the two PR-5 write-path changes end to end:
+//
+//   - RepairExp: the parallel incremental repair pass. One merged
+//     delta batch (value churn across a slice of the workload's
+//     entities) repaired at increasing Options.Parallelism, each run
+//     asserted byte-identical to the sequential repair. CI runs it at
+//     GOMAXPROCS 1 and 4 and publishes BENCH_repair.json.
+//
+//   - GroupCommitExp: group-commit fsync. Concurrent writers stream
+//     disjoint-footprint deltas through ApplyDeltaLogged against a
+//     SyncAlways WAL, comparing the old shape — Append (write + fsync)
+//     inside the plan mutex — against Begin/commit, where one group
+//     fsync covers every record buffered while the leader flushed.
+
+// RepairRun is one parallelism measurement of the repair experiment.
+type RepairRun struct {
+	Parallelism  int     `json:"parallelism"`
+	Millis       float64 `json:"ms"`
+	DeltasPerSec float64 `json:"deltas_per_sec"`
+	Speedup      float64 `json:"speedup_vs_sequential"`
+	Identical    bool    `json:"identical"`
+}
+
+// GroupCommitRun is one writer-count measurement of the group-commit
+// experiment.
+type GroupCommitRun struct {
+	Writers        int     `json:"writers"`
+	InLockMillis   float64 `json:"fsync_in_plan_lock_ms"`
+	GroupMillis    float64 `json:"group_commit_ms"`
+	InLockPerSec   float64 `json:"fsync_in_plan_lock_deltas_per_sec"`
+	GroupPerSec    float64 `json:"group_commit_deltas_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	GroupsObserved uint64  `json:"wal_records"`
+}
+
+// RepairReport is the machine-readable outcome of both experiments
+// (the groupcommit section is filled by GroupCommitExp when the runner
+// asks for the combined report).
+type RepairReport struct {
+	Dataset     string           `json:"dataset"`
+	Triples     int              `json:"triples"`
+	Entities    int              `json:"entities"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Deltas      int              `json:"deltas"`
+	SeqMillis   float64          `json:"sequential_ms"`
+	Runs        []RepairRun      `json:"runs"`
+	GroupCommit []GroupCommitRun `json:"group_commit,omitempty"`
+}
+
+// JSON renders the report.
+func (r *RepairReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// repairDeltas derives a churn batch from the workload: for up to
+// nDeltas distinct subjects with a value triple, remove it and add a
+// replacement literal shared across a few subjects — so the merged
+// repair has a large affected region with non-trivial partner sets.
+func repairDeltas(g *graph.Graph, nDeltas int) []*graph.Delta {
+	type attr struct{ id, pred, lit string }
+	var attrs []attr
+	seen := make(map[string]bool)
+	g.EachTriple(func(s graph.NodeID, p graph.PredID, o graph.NodeID) {
+		if !g.IsValue(o) {
+			return
+		}
+		id := g.Label(s)
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		attrs = append(attrs, attr{id: id, pred: g.PredName(p), lit: g.Label(o)})
+	})
+	if nDeltas > len(attrs) {
+		nDeltas = len(attrs)
+	}
+	deltas := make([]*graph.Delta, nDeltas)
+	for i := 0; i < nDeltas; i++ {
+		a := attrs[i]
+		d := &graph.Delta{}
+		d.RemoveValueTriple(a.id, a.pred, a.lit)
+		// The replacement literal comes from a small hot pool, so the
+		// churned entities pile into a few big collision classes: every
+		// affected entity then sees a long candidate-partner list and
+		// the repair becomes witness-check dominated — the phase
+		// parallel repair fans out.
+		d.AddValueTriple(a.id, a.pred, fmt.Sprintf("hot-%s-%d", a.pred, i%3))
+		deltas[i] = d
+	}
+	return deltas
+}
+
+// RepairExp measures the incremental maintenance pass at increasing
+// repair parallelism: one engine per run over a fresh workload copy,
+// the whole churn batch applied as a single ApplyAll (graph phase
+// single-worker, so every run mutates identically), wall time
+// dominated by the repair. Every run's final graph text and pair list
+// are compared against the sequential (p = 1) run's.
+func RepairExp(ds Dataset, cfg BuildConfig, ps []int, nDeltas int) (*Table, *RepairReport, error) {
+	probe, err := Build(ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	deltas := repairDeltas(probe.Graph, nDeltas)
+	nDeltas = len(deltas)
+
+	// Each parallelism measures best-of-reps: the batch is only a few
+	// to a few dozen milliseconds, so a single sample is at the mercy
+	// of scheduler noise on shared runners.
+	const reps = 3
+	run := func(p int) (time.Duration, string, string, error) {
+		best := time.Duration(0)
+		var graphText, pairText string
+		for r := 0; r < reps; r++ {
+			w, err := Build(ds, cfg)
+			if err != nil {
+				return 0, "", "", err
+			}
+			e, err := inc.New(w.Graph, w.Keys, inc.Options{Parallelism: p})
+			if err != nil {
+				return 0, "", "", err
+			}
+			start := time.Now()
+			if _, _, err := e.ApplyAll(deltas, 1); err != nil {
+				return 0, "", "", err
+			}
+			dur := time.Since(start)
+			if best == 0 || dur < best {
+				best = dur
+			}
+			if r == 0 {
+				var sb strings.Builder
+				if err := w.Graph.WriteText(&sb); err != nil {
+					return 0, "", "", err
+				}
+				graphText = sb.String()
+				var pairs strings.Builder
+				for _, pr := range e.Pairs() {
+					fmt.Fprintf(&pairs, "%d-%d;", pr.A, pr.B)
+				}
+				pairText = pairs.String()
+			}
+		}
+		return best, graphText, pairText, nil
+	}
+
+	seqDur, seqGraph, seqPairs, err := run(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &RepairReport{
+		Dataset:    ds.String(),
+		Triples:    probe.Graph.NumTriples(),
+		Entities:   probe.Graph.NumEntities(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Deltas:     nDeltas,
+		SeqMillis:  ms(seqDur),
+	}
+	table := &Table{
+		Title: fmt.Sprintf("Parallel repair: %d-delta merged batch (%s, |G|=%d, GOMAXPROCS=%d)",
+			nDeltas, ds, rep.Triples, rep.GOMAXPROCS),
+		Header: []string{"p", "time", "deltas/s", "vs sequential", "identical"},
+		Rows: [][]string{{
+			"1 (seq)", fmtDur(seqDur), fmt.Sprintf("%.0f", float64(nDeltas)/seqDur.Seconds()), "1.00x", "-",
+		}},
+	}
+	for _, p := range ps {
+		if p <= 1 {
+			continue
+		}
+		dur, gotGraph, gotPairs, err := run(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := RepairRun{
+			Parallelism:  p,
+			Millis:       ms(dur),
+			DeltasPerSec: float64(nDeltas) / dur.Seconds(),
+			Speedup:      float64(seqDur) / float64(dur),
+			Identical:    gotGraph == seqGraph && gotPairs == seqPairs,
+		}
+		rep.Runs = append(rep.Runs, r)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", p), fmtDur(dur), fmt.Sprintf("%.0f", r.DeltasPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return table, rep, nil
+}
+
+// GroupCommitExp measures sustained durable-write throughput at
+// increasing concurrent writer counts, old shape vs new: fsync inside
+// the plan mutex (the wal.Store Append called synchronously from the
+// write-ahead hook) against group commit (Begin under the plan mutex,
+// the commit wait outside it). Deltas have pairwise-disjoint
+// footprints, so the store admits the writers concurrently and the
+// only serialization left is the durability protocol under test. dir
+// must be a scratch directory; each run uses a fresh WAL under it.
+func GroupCommitExp(dir string, writerCounts []int, nDeltas int) (*Table, []GroupCommitRun, error) {
+	gen := testutil.New(testutil.Config{Seed: 99, Groups: 16, PerGroup: 8})
+
+	run := func(sub string, writers int, group bool) (time.Duration, uint64, error) {
+		s, err := wal.Open(fmt.Sprintf("%s/%s-w%d", dir, sub, writers), wal.SyncAlways)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer s.Close()
+		g := graph.New()
+		if _, err := g.ApplyDelta(gen.Seed()); err != nil {
+			return 0, 0, err
+		}
+		// Pre-intern the marker predicate (two deltas: an add+remove
+		// pair in one delta would coalesce away and intern nothing),
+		// so the timed stream never allocates or interns.
+		warmAdd := &graph.Delta{}
+		warmAdd.AddValueTriple("g0-p0", "note", "warmup")
+		warmDel := &graph.Delta{}
+		warmDel.RemoveValueTriple("g0-p0", "note", "warmup")
+		for _, wd := range []*graph.Delta{warmAdd, warmDel} {
+			if _, err := g.ApplyDelta(wd); err != nil {
+				return 0, 0, err
+			}
+		}
+		hook := func(ops []graph.DeltaOp) (graph.DeltaCommit, error) {
+			if group {
+				_, commit, err := s.Begin(ops)
+				if err != nil {
+					return nil, err
+				}
+				return graph.DeltaCommit(commit), nil
+			}
+			// Old shape: the full append (write + fsync) runs inside
+			// the hook, i.e. inside the plan mutex.
+			_, err := s.Append(ops)
+			return nil, err
+		}
+		perWriter := nDeltas / writers
+		var wg sync.WaitGroup
+		var firstErr error
+		var errMu sync.Mutex
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					if _, err := g.ApplyDeltaLogged(gen.Toggle(w, i), hook); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		dur := time.Since(start)
+		return dur, s.Seq(), firstErr
+	}
+
+	table := &Table{
+		Title:  fmt.Sprintf("Group-commit fsync: %d durable deltas, disjoint writers (GOMAXPROCS=%d)", nDeltas, runtime.GOMAXPROCS(0)),
+		Header: []string{"writers", "fsync-in-lock", "group-commit", "in-lock deltas/s", "group deltas/s", "speedup"},
+	}
+	var runs []GroupCommitRun
+	for _, writers := range writerCounts {
+		inLock, _, err := run("inlock", writers, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		grouped, recs, err := run("group", writers, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := (nDeltas / writers) * writers
+		r := GroupCommitRun{
+			Writers:        writers,
+			InLockMillis:   ms(inLock),
+			GroupMillis:    ms(grouped),
+			InLockPerSec:   float64(n) / inLock.Seconds(),
+			GroupPerSec:    float64(n) / grouped.Seconds(),
+			Speedup:        float64(inLock) / float64(grouped),
+			GroupsObserved: recs,
+		}
+		runs = append(runs, r)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", writers), fmtDur(inLock), fmtDur(grouped),
+			fmt.Sprintf("%.0f", r.InLockPerSec), fmt.Sprintf("%.0f", r.GroupPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return table, runs, nil
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRepairExpSmoke runs the parallel-repair experiment at a small
+// scale: every parallelism must reproduce the sequential run's graph
+// and pairs byte-identically (the correctness half of the acceptance
+// bar), and on a machine with >= 4 real CPUs the p = 4 run must clear
+// the 1.5x repair-throughput bar. On fewer cores the speedup is
+// skipped, not asserted — parallel repair degrades to roughly
+// sequential wall-clock there, which the identical check still pins.
+func TestRepairExpSmoke(t *testing.T) {
+	cfg := DefaultBuild()
+	cfg.Scale = 1.0
+	_, rep, err := RepairExp(SyntheticDS, cfg, []int{2, 4}, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var four *RepairRun
+	for i := range rep.Runs {
+		run := &rep.Runs[i]
+		if !run.Identical {
+			t.Fatalf("p=%d: parallel repair diverged from sequential", run.Parallelism)
+		}
+		if run.Parallelism == 4 {
+			four = run
+		}
+	}
+	if four == nil {
+		t.Fatal("no p=4 run")
+	}
+	if runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("speedup check needs >= 4 CPUs (have GOMAXPROCS=%d, NumCPU=%d); measured %.2fx at p=4",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), four.Speedup)
+	}
+	if four.Speedup < 1.5 {
+		t.Errorf("p=4 repair speedup %.2fx, want >= 1.5x (sequential %.1fms, parallel %.1fms)",
+			four.Speedup, rep.SeqMillis, four.Millis)
+	}
+}
+
+// TestGroupCommitSmoke runs the group-commit experiment at a small
+// scale and checks the shape: both paths complete, every run logs the
+// expected number of records, and with >= 4 CPUs the 8-writer group
+// commit clears the 2x acceptance bar over fsync-in-plan-lock.
+func TestGroupCommitSmoke(t *testing.T) {
+	_, runs, err := GroupCommitExp(t.TempDir(), []int{2, 8}, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eight *GroupCommitRun
+	for i := range runs {
+		r := &runs[i]
+		want := uint64((160 / r.Writers) * r.Writers)
+		if r.GroupsObserved != want {
+			t.Fatalf("writers=%d: WAL holds %d records, want %d", r.Writers, r.GroupsObserved, want)
+		}
+		if r.Writers == 8 {
+			eight = r
+		}
+	}
+	if eight == nil {
+		t.Fatal("no 8-writer run")
+	}
+	if runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("speedup check needs >= 4 CPUs (have GOMAXPROCS=%d, NumCPU=%d); measured %.2fx at 8 writers",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), eight.Speedup)
+	}
+	if eight.Speedup < 2.0 {
+		t.Errorf("8-writer group-commit speedup %.2fx over fsync-in-plan-lock, want >= 2x (in-lock %.1fms, grouped %.1fms)",
+			eight.Speedup, eight.InLockMillis, eight.GroupMillis)
+	}
+}

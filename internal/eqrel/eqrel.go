@@ -12,27 +12,35 @@ package eqrel
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Eq is a union-find over dense node IDs [0, n). The zero value is not
-// usable; call New. Eq is not safe for concurrent use; see Safe.
+// usable; call New. Eq is not safe for general concurrent use (see
+// Safe), with one carve-out the parallel repair pass relies on:
+// concurrent Find/Union/Same calls are race-free as long as every
+// goroutine confines itself to a disjoint set of equivalence classes —
+// path halving and root relinking only ever write parent/rank entries
+// of the classes being touched, and the version/classes counters are
+// atomic.
 type Eq struct {
 	parent []int32
 	rank   []uint8
 	// version counts effective (class-merging) unions. Engines use it to
-	// detect that a round changed Eq.
-	version int
+	// detect that a round changed Eq. Atomic so that class-disjoint
+	// concurrent unions stay race-free.
+	version atomic.Int64
 	// classes counts current equivalence classes.
-	classes int
+	classes atomic.Int64
 }
 
 // New returns the identity relation Eq0 = {(e,e)} over n nodes.
 func New(n int) *Eq {
 	eq := &Eq{
-		parent:  make([]int32, n),
-		rank:    make([]uint8, n),
-		classes: n,
+		parent: make([]int32, n),
+		rank:   make([]uint8, n),
 	}
+	eq.classes.Store(int64(n))
 	for i := range eq.parent {
 		eq.parent[i] = int32(i)
 	}
@@ -68,8 +76,8 @@ func (eq *Eq) Union(a, b int32) bool {
 	if eq.rank[ra] == eq.rank[rb] {
 		eq.rank[ra]++
 	}
-	eq.version++
-	eq.classes--
+	eq.version.Add(1)
+	eq.classes.Add(-1)
 	return true
 }
 
@@ -81,15 +89,15 @@ func (eq *Eq) Grow(n int) {
 	for len(eq.parent) < n {
 		eq.parent = append(eq.parent, int32(len(eq.parent)))
 		eq.rank = append(eq.rank, 0)
-		eq.classes++
+		eq.classes.Add(1)
 	}
 }
 
 // Version returns a counter that increases with every effective Union.
-func (eq *Eq) Version() int { return eq.version }
+func (eq *Eq) Version() int { return int(eq.version.Load()) }
 
 // Classes returns the current number of equivalence classes.
-func (eq *Eq) Classes() int { return eq.classes }
+func (eq *Eq) Classes() int { return int(eq.classes.Load()) }
 
 // Reader is a concurrency-safe read-only view of an Eq: its Same uses
 // a non-compressing find, so any number of goroutines may query it as
@@ -160,11 +168,11 @@ func (eq *Eq) Pairs(universe []int32) []Pair {
 // Clone returns an independent copy of the relation.
 func (eq *Eq) Clone() *Eq {
 	c := &Eq{
-		parent:  make([]int32, len(eq.parent)),
-		rank:    make([]uint8, len(eq.rank)),
-		version: eq.version,
-		classes: eq.classes,
+		parent: make([]int32, len(eq.parent)),
+		rank:   make([]uint8, len(eq.rank)),
 	}
+	c.version.Store(eq.version.Load())
+	c.classes.Store(eq.classes.Load())
 	copy(c.parent, eq.parent)
 	copy(c.rank, eq.rank)
 	return c
@@ -199,7 +207,7 @@ func (s *Safe) Union(a, b int32) bool {
 func (s *Safe) Version() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.eq.version
+	return s.eq.Version()
 }
 
 // Snapshot returns an independent copy of the underlying relation.

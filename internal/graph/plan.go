@@ -54,7 +54,21 @@ import (
 // handed to consecutive calls are in exactly the order the deltas
 // serialize in. Returning an error aborts the delta before any
 // mutation: this is the write-ahead hook the WAL hangs off.
-type DeltaLog func(norm []DeltaOp) error
+//
+// The returned DeltaCommit, when non-nil, is the delta's durability
+// wait: the write path calls it AFTER releasing the plan mutex and
+// before any mutation, so concurrent planners overlap their fsyncs
+// (the WAL's group commit — one fsync covers every record buffered
+// while the leader flushed). If the commit errors the delta aborts
+// with the graph untouched. A nil commit means the hook already made
+// the record durable (or does not need to): the delta then lowers and
+// executes inside the same plan-mutex hold, exactly the pre-group-
+// commit write path.
+type DeltaLog func(norm []DeltaOp) (DeltaCommit, error)
+
+// DeltaCommit blocks until the logged record is durable per the log's
+// policy, reporting the flush error if it is not.
+type DeltaCommit func() error
 
 // planner is the admission state of the write path: which shard
 // footprints are currently executing, and which planners are waiting.
@@ -74,6 +88,21 @@ type planner struct {
 	// sustained stream of narrow ones.
 	waitQ      []int64
 	nextTicket int64
+
+	// Lowering sequencer for the group-commit path: a delta that
+	// releases the plan mutex for its durability wait reserves a
+	// lowering slot first (nextLower), and lowers only when every
+	// earlier slot has resolved (lowered catches up). Slot order is
+	// plan order is WAL order, so node allocation — which happens at
+	// lowering — stays deterministic in log order even though the
+	// durability waits overlap; that is what keeps replay
+	// byte-identical. pendingAlloc counts the node allocations of
+	// reserved-but-not-yet-lowered plans, so deltaMask can cover the
+	// allocation range of a new planner no matter how the slots ahead
+	// of it resolve.
+	nextLower    int64
+	lowered      int64
+	pendingAlloc int
 }
 
 func (g *Graph) initPlanner() {
@@ -234,12 +263,21 @@ func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
 
 // ApplyDeltaLogged is ApplyDelta with a write-ahead hook: log (when
 // non-nil) receives the normalized op list after validation and
-// coalescing but before any mutation, in plan order. If log errors the
-// delta is aborted and the graph left untouched. Deltas that coalesce
-// to a no-op are not logged.
+// coalescing but before any mutation, in plan order. If log (or the
+// durability commit it returns) errors, the delta is aborted and the
+// graph left untouched. Deltas that coalesce to a no-op are not
+// logged.
+//
+// When the hook returns a DeltaCommit, the durability wait runs with
+// the plan mutex RELEASED: the delta's conservative shard footprint is
+// registered as in-flight first (so overlapping planners wait exactly
+// as they would for an executing delta) and a lowering slot is
+// reserved (so allocation order stays plan order); disjoint planners
+// keep planning and buffering their own records meanwhile, and one
+// group fsync covers them all.
 func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 	g.pl.mu.Lock()
-	g.admit(func() uint32 { return g.deltaMask(d) })
+	admitted := g.admit(func() uint32 { return g.deltaMask(d) })
 	if err := g.validateDelta(d); err != nil {
 		g.pl.mu.Unlock()
 		return nil, err
@@ -249,20 +287,82 @@ func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 		g.pl.mu.Unlock()
 		return &p.result, nil
 	}
+	var commit DeltaCommit
 	if log != nil {
-		if err := log(p.norm); err != nil {
+		c, err := log(p.norm)
+		if err != nil {
 			g.pl.mu.Unlock()
 			return nil, fmt.Errorf("graph: delta log: %w", err)
 		}
+		commit = c
 	}
-	g.lowerPlanned(p)
-	tok := g.registerFlight(p.mask)
+	if commit == nil {
+		// No durability wait: lower and fly inside this plan-mutex
+		// hold, the classic write path.
+		g.lowerPlanned(p)
+		tok := g.registerFlight(p.mask)
+		g.pl.mu.Unlock()
+		g.executePlanned(p)
+		g.completeFlight(tok)
+		return &p.result, nil
+	}
+	// Group-commit path. The flight must cover lowering as well as
+	// execution, and the plan's exact mask is only known after
+	// lowering — so the admitted (conservative, superset) mask flies.
+	alloc := p.allocCount()
+	ticket := g.pl.nextLower
+	g.pl.nextLower++
+	g.pl.pendingAlloc += alloc
+	tok := g.registerFlight(admitted)
 	g.pl.mu.Unlock()
 
-	g.executePlanned(p)
+	cerr := commit()
 
+	g.pl.mu.Lock()
+	for g.pl.lowered != ticket {
+		g.pl.cond.Wait()
+	}
+	if cerr == nil {
+		g.lowerPlanned(p)
+	}
+	g.pl.lowered++
+	g.pl.pendingAlloc -= alloc
+	g.pl.cond.Broadcast()
+	g.pl.mu.Unlock()
+	if cerr != nil {
+		g.completeFlight(tok)
+		return nil, fmt.Errorf("graph: delta log: %w", cerr)
+	}
+	g.executePlanned(p)
 	g.completeFlight(tok)
 	return &p.result, nil
+}
+
+// allocCount reports exactly how many nodes lowering this plan will
+// allocate: one per surviving entity creation, one per distinct new
+// value literal a surviving triple addition interns. The lowering
+// sequencer uses it to keep deltaMask's allocation-range cover exact
+// while slots ahead are still unresolved.
+func (p *planned) allocCount() int {
+	n := 0
+	var seen map[*pendNode]bool
+	for _, it := range p.emit {
+		switch it.kind {
+		case eAlloc:
+			n++
+		case eAddTriple:
+			if pn := it.key.o.pend; pn != nil && pn.kind == ValueKind {
+				if seen == nil {
+					seen = make(map[*pendNode]bool)
+				}
+				if !seen[pn] {
+					seen[pn] = true
+					n++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // deltaMask conservatively over-approximates the shard footprint of the
@@ -321,7 +421,16 @@ func (g *Graph) deltaMask(d *Delta) uint32 {
 			}
 		}
 	}
+	// The allocation range starts wherever the node table stands when
+	// THIS plan lowers. Slots reserved ahead of us may each allocate
+	// (shifting our base up by their count) or abort (leaving it) — so
+	// an allocating delta covers the whole span from the current table
+	// end through every pending allocation plus its own tentative
+	// ones. (A delta that allocates nothing needs no cover at all.)
 	base := int(g.nNodes.Load())
+	if tentative > 0 {
+		tentative += g.pl.pendingAlloc
+	}
 	if tentative > ShardCount {
 		tentative = ShardCount
 	}

@@ -35,6 +35,7 @@ package inc
 
 import (
 	"errors"
+	"sort"
 
 	"graphkeys/internal/chase"
 	"graphkeys/internal/engine"
@@ -49,6 +50,12 @@ type Options struct {
 	// Match is passed through to the matching machinery (ValueEq,
 	// workers for the initial full chase).
 	Match match.Options
+	// Parallelism is the worker count of the repair pass
+	// (engine.Workers semantics: values below 1 default to GOMAXPROCS
+	// capped at engine.DefaultWorkers). Repair output — pairs, step
+	// log, stats — is byte-identical at every worker count; the
+	// differential tests pin that, so parallelism is safe to leave on.
+	Parallelism int
 }
 
 // Stats reports the work done by the most recent Apply, for
@@ -69,8 +76,8 @@ type Stats struct {
 // Engine maintains chase(G, Σ) under mutations of G. It owns the
 // graph's mutation lifecycle: after New, mutate the graph only through
 // Apply/ApplyAll. An Engine is not safe for concurrent use (ApplyAll
-// parallelizes the graph mutations internally; the repair pass and the
-// accessors stay single-threaded).
+// parallelizes the graph mutations and the repair pass internally, on
+// Options.Parallelism workers; the accessors stay single-threaded).
 type Engine struct {
 	g    *graph.Graph
 	set  *keys.Set
@@ -222,12 +229,18 @@ func (e *Engine) ApplyAll(ds []*graph.Delta, workers int) (added, removed []eqre
 // repair re-establishes chase(G, Σ) after the graph absorbed the
 // merged delta result: provenance-driven invalidation for the
 // removals, d-hop affected-region re-chase for the additions, and the
-// dependency worklist for recursive cascades.
+// dependency worklist for recursive cascades. The expensive phases —
+// the step-log mark scan, the affected-region neighborhoods, the
+// partner generation, and the candidate re-checks — fan out over
+// Options.Parallelism workers; every phase merges deterministically,
+// so the repaired pairs, step log and stats are byte-identical at any
+// worker count.
 func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, err error) {
 	if err := e.rebuildMatcher(); err != nil {
 		return nil, nil, err
 	}
 	e.depN = make(map[graph.NodeID]*graph.NodeSet)
+	workers := engine.Workers(e.opts.Parallelism)
 
 	// Removals: invalidate steps whose witness used a removed triple,
 	// cascade along Requires by replaying the survivors, and collect
@@ -242,14 +255,24 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 		for _, tr := range res.RemovedTriples {
 			removedSet[tr] = true
 		}
+		// Mark phase, parallel: which steps' witnesses consumed a
+		// removed triple. The scan touches every step's Uses list —
+		// the part of invalidation that grows with the step log — and
+		// each step marks independently.
+		usesRemoved := make([]bool, len(e.steps))
+		engine.Parallel(workers, len(e.steps), func(i int) {
+			usesRemoved[i] = stepUsesAny(e.steps[i], removedSet)
+		})
+		// Replay phase, sequential: drop marked steps, cascade along
+		// Requires, rebuild Eq from the survivors.
 		oldEq := e.eq
 		oldMembers := e.classMembers()
 		taintedRoots := make(map[int32]bool)
 		eq := eqrel.New(e.g.NumNodes())
 		kept := make([]chase.Step, 0, len(e.steps))
 		dropped := 0
-		for _, st := range e.steps {
-			if stepUsesAny(st, removedSet) || !requiresHold(eq, st.Requires) {
+		for i, st := range e.steps {
+			if usesRemoved[i] || !requiresHold(eq, st.Requires) {
 				taintedRoots[oldEq.Find(st.Pair.A)] = true
 				dropped++
 				continue
@@ -259,7 +282,14 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 		}
 		e.eq = eq
 		e.steps = kept
+		// Suspect order must not depend on map iteration: the seeds
+		// feed the re-chase whose step log the differential tests pin.
+		roots := make([]int32, 0, len(taintedRoots))
 		for r := range taintedRoots {
+			roots = append(roots, r)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		for _, r := range roots {
 			mem := oldMembers[r]
 			for i := 0; i < len(mem); i++ {
 				for j := i + 1; j < len(mem); j++ {
@@ -278,22 +308,23 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 	// so seeding (p, q) for affected p and every candidate partner q
 	// (match.ValuePartners: inverted-value-index lookups on indexable
 	// types, all same-type entities otherwise) is complete (up to the
-	// worklist expansion below).
-	work := engine.NewWorklist[eqrel.Pair]()
-	for _, pr := range suspects {
-		work.Push(pr)
-	}
+	// worklist expansion in the chase phase).
+	seeds := suspects
 	if len(res.AddedTriples) > 0 || len(res.AddedEntities) > 0 {
-		region := e.affectedEntities(res)
+		region := e.affectedEntities(res, workers)
 		e.stats.Region = len(region)
-		for _, p := range region {
-			for _, q := range e.m.ValuePartners(p) {
-				work.Push(eqrel.MakePair(int32(p), int32(q)))
+		partners := make([][]graph.NodeID, len(region))
+		engine.Parallel(workers, len(region), func(i int) {
+			partners[i] = e.m.ValuePartners(region[i])
+		})
+		for i, p := range region {
+			for _, q := range partners[i] {
+				seeds = append(seeds, eqrel.MakePair(int32(p), int32(q)))
 			}
 		}
 	}
 
-	e.chaseWorklist(work)
+	e.chaseSeeds(seeds, workers)
 
 	newPairs := e.eq.Pairs(e.m.KeyedEntities())
 	added, removed = diffPairs(e.pairs, newPairs)
@@ -321,8 +352,33 @@ func requiresHold(eq *eqrel.Eq, reqs []eqrel.Pair) bool {
 
 // affectedEntities collects the keyed entities whose d-neighborhood
 // gained a triple: those within maxRadius hops of any added-triple
-// endpoint, plus added entities of keyed types.
-func (e *Engine) affectedEntities(res *graph.DeltaResult) []graph.NodeID {
+// endpoint, plus added entities of keyed types. The per-endpoint
+// neighborhood BFS — the expensive part — fans out over the workers
+// and seeds the per-Apply memo; the collection itself is sequential in
+// endpoint order, so the region list is deterministic.
+func (e *Engine) affectedEntities(res *graph.DeltaResult, workers int) []graph.NodeID {
+	var endpoints []graph.NodeID
+	seenEp := make(map[graph.NodeID]bool)
+	addEp := func(n graph.NodeID) {
+		if !seenEp[n] {
+			seenEp[n] = true
+			endpoints = append(endpoints, n)
+		}
+	}
+	for _, tr := range res.AddedTriples {
+		addEp(tr.S)
+		addEp(tr.O)
+	}
+	for _, n := range res.AddedEntities {
+		addEp(n)
+	}
+	sets := make([]*graph.NodeSet, len(endpoints))
+	engine.Parallel(workers, len(endpoints), func(i int) {
+		sets[i] = e.g.Neighborhood(endpoints[i], e.maxRadius)
+	})
+	for i, x := range endpoints {
+		e.depN[x] = sets[i]
+	}
 	seen := make(map[graph.NodeID]bool)
 	var out []graph.NodeID
 	collect := func(n graph.NodeID) {
@@ -332,11 +388,6 @@ func (e *Engine) affectedEntities(res *graph.DeltaResult) []graph.NodeID {
 		seen[n] = true
 		out = append(out, n)
 	}
-	var endpoints []graph.NodeID
-	for _, tr := range res.AddedTriples {
-		endpoints = append(endpoints, tr.S, tr.O)
-	}
-	endpoints = append(endpoints, res.AddedEntities...)
 	for _, x := range endpoints {
 		e.depNeighborhood(x).Each(collect)
 	}
@@ -359,30 +410,231 @@ func (e *Engine) depNeighborhood(n graph.NodeID) *graph.NodeSet {
 	return ns
 }
 
-// chaseWorklist re-runs chase steps over the worklist until the
-// fixpoint: each identification expands the worklist with the pairs
-// that depend on the merged classes through recursive keys, so repair
-// follows dependency chains arbitrarily far from the mutation without
-// ever sweeping the full candidate set.
-func (e *Engine) chaseWorklist(w *engine.Worklist[eqrel.Pair]) {
-	members := e.classMembers()
-	for {
-		pr, ok := w.Pop()
+// chaseSeeds re-runs chase steps from the seed pairs until the
+// fixpoint. Two strategies, picked by the shape of the key set:
+//
+//   - No recursive keys: a check never consults Eq (no entity-variable
+//     bindings) and no merge can enable another check, so the seeds
+//     partition into connected components over their Eq classes and
+//     the components repair fully independently — one goroutine each,
+//     results merged in component order (chaseComponents).
+//
+//   - Recursive keys: checks read Eq and merges enable dependents, so
+//     repair runs in BSP rounds — every check of a round sees the Eq
+//     snapshot of the previous round, merges commit sequentially in
+//     worklist order, dependents queue for the next round
+//     (chaseRounds; the same shape as the parallel chase of §4.2).
+//
+// Both strategies are deterministic for every worker count; p = 1 IS
+// the sequential repair the differential tests compare against.
+func (e *Engine) chaseSeeds(seeds []eqrel.Pair, workers int) {
+	if len(seeds) == 0 {
+		return
+	}
+	if len(e.recTypes) == 0 {
+		e.chaseComponents(seeds, workers)
+		return
+	}
+	e.chaseRounds(seeds, workers)
+}
+
+// chaseComponents drains seed components concurrently. Correctness of
+// the shared-Eq unions rests on class disjointness: a component owns
+// the Eq classes of its seeds' endpoints by construction (components
+// are the connected closure of seeds over classes), every union merges
+// two owned classes, and union-find operations never touch entries
+// outside the classes involved — so concurrent drains are race-free
+// without a lock, and since no check consults Eq (no recursive keys),
+// no drain can observe another's merges.
+func (e *Engine) chaseComponents(seeds []eqrel.Pair, workers int) {
+	// Union-find over class representatives connects seeds that share
+	// (transitively) an Eq class.
+	parent := make(map[int32]int32)
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for _, s := range seeds {
+		ra, rb := find(e.eq.Find(s.A)), find(e.eq.Find(s.B))
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// Group seeds per component in seed order; component order is
+	// first-appearance order, so the merged step log is deterministic.
+	compOf := make(map[int32]int)
+	var comps [][]eqrel.Pair
+	for _, s := range seeds {
+		r := find(e.eq.Find(s.A))
+		ci, ok := compOf[r]
 		if !ok {
-			break
+			ci = len(comps)
+			compOf[r] = ci
+			comps = append(comps, nil)
+		}
+		comps[ci] = append(comps[ci], s)
+	}
+	type compResult struct {
+		steps               []chase.Step
+		checked, identified int
+	}
+	results := make([]compResult, len(comps))
+	engine.Parallel(workers, len(comps), func(ci int) {
+		wl := engine.NewWorklist[eqrel.Pair]()
+		for _, s := range comps[ci] {
+			wl.Push(s)
+		}
+		res := &results[ci]
+		for {
+			pr, ok := wl.Pop()
+			if !ok {
+				break
+			}
+			if e.eq.Same(pr.A, pr.B) {
+				continue
+			}
+			got, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B), e.eq)
+			res.checked++
+			if !got {
+				continue
+			}
+			e.eq.Union(pr.A, pr.B)
+			res.steps = append(res.steps, chase.Step{Pair: pr, Key: key, Requires: reqs, Uses: uses})
+			res.identified++
+		}
+	})
+	for i := range results {
+		e.steps = append(e.steps, results[i].steps...)
+		e.stats.Checked += results[i].checked
+		e.stats.Identified += results[i].identified
+	}
+}
+
+// roundsSequentialCutoff is the floor of the worklist size below
+// which chaseRounds abandons BSP rounds for a plain sequential drain:
+// snapshotting Eq and fanning a handful of checks out costs more than
+// checking them inline, and cascades typically trickle — a long tail
+// of tiny rounds. snapshotAmortize raises the cutoff with the
+// relation size: every round clones the whole Eq (O(n)), so a round
+// must carry at least n/snapshotAmortize checks for the snapshot to
+// amortize — without this, a million-node graph would pay a
+// multi-megabyte copy per 32-pair round. Both terms depend only on
+// workload shape, never on the worker count, so the execution path —
+// and with it the byte-exact output — is the same at every
+// parallelism.
+const (
+	roundsSequentialCutoff = 32
+	snapshotAmortize       = 4096
+)
+
+// chaseRounds repairs under recursive keys in BSP rounds with
+// per-round Eq snapshots: checks of one round run concurrently against
+// the previous round's relation, identifications commit sequentially
+// in worklist order, and each commit enqueues the pairs that depend on
+// the merged classes (the §4.2 dependency relation) for the next
+// round. Dependency completeness carries over from the sequential
+// argument: a check that failed against a round's snapshot can newly
+// succeed only after classes providing its entity-variable bindings
+// merge, and every such pair is a dependent of the merged classes'
+// members. Once the worklist trickles below the cutoff, the remainder
+// drains sequentially against the live relation.
+func (e *Engine) chaseRounds(seeds []eqrel.Pair, workers int) {
+	members := e.classMembers()
+	wl := engine.NewWorklist[eqrel.Pair]()
+	for _, s := range seeds {
+		wl.Push(s)
+	}
+	type verdict struct {
+		checked bool
+		ok      bool
+		key     string
+		reqs    []eqrel.Pair
+		uses    []graph.Triple
+	}
+	cutoff := roundsSequentialCutoff
+	if n := e.eq.Len() / snapshotAmortize; n > cutoff {
+		cutoff = n
+	}
+	for wl.Len() > 0 {
+		if wl.Len() < cutoff {
+			e.drainSequential(wl, members)
+			return
+		}
+		active := wl.Drain()
+		snap := e.eq.Clone().Reader()
+		verdicts := make([]verdict, len(active))
+		engine.Parallel(workers, len(active), func(i int) {
+			pr := active[i]
+			if snap.Same(pr.A, pr.B) {
+				return
+			}
+			ok, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B), snap)
+			verdicts[i] = verdict{checked: true, ok: ok, key: key, reqs: reqs, uses: uses}
+		})
+		for i, v := range verdicts {
+			if v.checked {
+				e.stats.Checked++
+			}
+			if !v.ok {
+				continue
+			}
+			pr := active[i]
+			if e.eq.Same(pr.A, pr.B) {
+				continue // merged transitively earlier in this round
+			}
+			// Dependent pairs are computed from the classes as they
+			// are about to merge: any pair that may newly fire needs
+			// an entity-variable binding (u', v') with u' and v' in
+			// the two classes, hence lies within maxRadius of their
+			// members.
+			ra, rb := e.eq.Find(pr.A), e.eq.Find(pr.B)
+			mem1 := withSelf(members[ra], pr.A)
+			mem2 := withSelf(members[rb], pr.B)
+			dep := e.dependentPairs(mem1, mem2)
+
+			e.eq.Union(pr.A, pr.B)
+			e.steps = append(e.steps, chase.Step{Pair: pr, Key: v.key, Requires: v.reqs, Uses: v.uses})
+			e.stats.Identified++
+			nr := e.eq.Find(pr.A)
+			members[nr] = append(mem1, mem2...)
+			if ra != nr {
+				delete(members, ra)
+			}
+			if rb != nr {
+				delete(members, rb)
+			}
+			for _, dp := range dep {
+				if !e.eq.Same(dp.A, dp.B) {
+					wl.Push(dp)
+				}
+			}
+		}
+	}
+}
+
+// drainSequential is the classic FIFO worklist drain: pop, check
+// against the live relation, merge, push dependents, repeat until
+// empty. chaseRounds hands the trickling tail of a repair to it.
+func (e *Engine) drainSequential(wl *engine.Worklist[eqrel.Pair], members map[int32][]int32) {
+	for {
+		pr, ok := wl.Pop()
+		if !ok {
+			return
 		}
 		if e.eq.Same(pr.A, pr.B) {
 			continue
 		}
-		got, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B))
+		got, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B), e.eq)
 		e.stats.Checked++
 		if !got {
 			continue
 		}
-		// Dependent pairs are computed from the classes as they are
-		// about to merge: any pair that may newly fire needs an entity
-		// variable binding (u', v') with u' and v' in the two classes,
-		// hence lies within maxRadius of their members.
 		ra, rb := e.eq.Find(pr.A), e.eq.Find(pr.B)
 		mem1 := withSelf(members[ra], pr.A)
 		mem2 := withSelf(members[rb], pr.B)
@@ -401,7 +653,7 @@ func (e *Engine) chaseWorklist(w *engine.Worklist[eqrel.Pair]) {
 		}
 		for _, dp := range dep {
 			if !e.eq.Same(dp.A, dp.B) {
-				w.Push(dp)
+				wl.Push(dp)
 			}
 		}
 	}
@@ -414,7 +666,13 @@ func (e *Engine) chaseWorklist(w *engine.Worklist[eqrel.Pair]) {
 // that pass the x-local necessary condition. Suspect pairs may involve
 // entities tombstoned by the delta (their class is tainted by the
 // removal of their incident triples); those can never re-derive.
-func (e *Engine) identify(e1, e2 graph.NodeID) (ok bool, key string, reqs []eqrel.Pair, uses []graph.Triple) {
+//
+// eq is the relation the witness search binds entity variables
+// against: the live relation on the sequential/component paths, a
+// per-round snapshot reader under BSP rounds. identify itself is safe
+// for concurrent use (the lazy matcher's memos are mutex-guarded, the
+// graph is quiescent during repair).
+func (e *Engine) identify(e1, e2 graph.NodeID, eq match.EqView) (ok bool, key string, reqs []eqrel.Pair, uses []graph.Triple) {
 	if !e.g.IsEntity(e1) || !e.g.IsEntity(e2) {
 		return false, "", nil, nil
 	}
@@ -430,7 +688,7 @@ func (e *Engine) identify(e1, e2 graph.NodeID) (ok bool, key string, reqs []eqre
 		if g1d == nil {
 			g1d, g2d = e.m.Neighborhood(e1), e.m.Neighborhood(e2)
 		}
-		got, raw, used, _ := e.m.IdentifiedByKeyProvenance(ck, e1, e2, g1d, g2d, e.eq)
+		got, raw, used, _ := e.m.IdentifiedByKeyProvenance(ck, e1, e2, g1d, g2d, eq)
 		if got {
 			reqs = make([]eqrel.Pair, 0, len(raw))
 			for _, r := range raw {
@@ -495,9 +753,19 @@ func (e *Engine) dependentPairs(mem1, mem2 []int32) []eqrel.Pair {
 	}
 	near1 := collectNear(mem1)
 	near2 := collectNear(mem2)
+	// Iterate types in sorted order: the dependent-pair push order
+	// feeds the worklist, whose order the deterministic step log the
+	// differential tests pin depends on — map iteration would vary it
+	// run to run.
+	types := make([]graph.TypeID, 0, len(near1))
+	for t := range near1 {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
 	dedup := make(map[eqrel.Pair]bool)
 	var out []eqrel.Pair
-	for t, ps := range near1 {
+	for _, t := range types {
+		ps := near1[t]
 		qs, ok := near2[t]
 		if !ok {
 			continue

@@ -350,13 +350,19 @@ func (m *Matcher) ValuePartners(e graph.NodeID) []graph.NodeID {
 // non-lazy matchers stay read-only after New, so nothing is cached).
 func (m *Matcher) valueReach(v graph.NodeID, d int) *graph.NodeSet {
 	k := valueReachKey{v, d}
-	if ns, ok := m.valueNbhd[k]; ok {
+	if !m.Opts.Lazy {
+		return m.G.Neighborhood(v, d)
+	}
+	m.lazyMu.Lock()
+	ns, ok := m.valueNbhd[k]
+	m.lazyMu.Unlock()
+	if ok {
 		return ns
 	}
-	ns := m.G.Neighborhood(v, d)
-	if m.Opts.Lazy {
-		m.valueNbhd[k] = ns
-	}
+	ns = m.G.Neighborhood(v, d)
+	m.lazyMu.Lock()
+	m.valueNbhd[k] = ns
+	m.lazyMu.Unlock()
 	return ns
 }
 

@@ -20,6 +20,7 @@ package match
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"graphkeys/internal/engine"
 	"graphkeys/internal/graph"
@@ -44,10 +45,13 @@ type Options struct {
 	// as a MapReduce job, §4.1). Values below 2 mean sequential.
 	Workers int
 	// Lazy skips the up-front d-neighbor precomputation; Neighborhood
-	// then computes and caches per entity on demand. A lazy matcher is
-	// NOT safe for concurrent use. The incremental engine uses lazy
-	// matchers because it only ever inspects a small affected region of
-	// the graph per delta.
+	// then computes and caches per entity on demand. The lazy caches are
+	// mutex-guarded, so the read paths the incremental engine's parallel
+	// repair fans out over (Neighborhood, ValuePartners, QuickPaired,
+	// the witness checks) are safe for concurrent use; the candidate
+	// builders and other whole-graph entry points remain single-caller.
+	// The incremental engine uses lazy matchers because it only ever
+	// inspects a small affected region of the graph per delta.
 	Lazy bool
 }
 
@@ -280,6 +284,11 @@ type Matcher struct {
 	byType map[graph.TypeID][]*CompiledKey
 	// dByType is the per-type neighborhood bound d.
 	dByType map[graph.TypeID]int
+	// lazyMu guards the two lazy memo maps below on lazy matchers, so
+	// concurrent checkers (the parallel repair pass) can share one
+	// matcher. Non-lazy matchers never take it: their neighborhoods map
+	// is read-only after New and valueNbhd is unused.
+	lazyMu sync.Mutex
 	// neighborhoods caches Gd for every entity of a keyed type.
 	neighborhoods map[graph.NodeID]*graph.NodeSet
 	// valueNbhd caches d-hop neighborhoods of value nodes for
@@ -368,18 +377,28 @@ func (m *Matcher) KeyedTypes() []graph.TypeID {
 // On a lazy matcher the neighborhood is computed and cached on first
 // request.
 func (m *Matcher) Neighborhood(e graph.NodeID) *graph.NodeSet {
-	if ns, ok := m.neighborhoods[e]; ok {
+	if !m.Opts.Lazy {
+		return m.neighborhoods[e]
+	}
+	m.lazyMu.Lock()
+	ns, ok := m.neighborhoods[e]
+	m.lazyMu.Unlock()
+	if ok {
 		return ns
 	}
-	if !m.Opts.Lazy || !m.G.IsEntity(e) {
+	if !m.G.IsEntity(e) {
 		return nil
 	}
 	d, ok := m.dByType[m.G.TypeOf(e)]
 	if !ok {
 		return nil
 	}
-	ns := m.G.Neighborhood(e, d)
+	// The BFS runs outside the lock: two goroutines racing on the same
+	// entity compute identical sets and whichever caches last wins.
+	ns = m.G.Neighborhood(e, d)
+	m.lazyMu.Lock()
 	m.neighborhoods[e] = ns
+	m.lazyMu.Unlock()
 	return ns
 }
 

@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"graphkeys/internal/graph"
+	"graphkeys/internal/testutil"
+)
+
+// failFile wraps the log file and injects failures: after okWrites
+// successful Writes every further Write errors (mode "write"), or
+// after okSyncs successful Syncs every further Sync errors (mode
+// "sync"). Truncate/Seek/Close pass through, so the store's rewind
+// path stays functional — the scenario under test is a full disk or a
+// dying device, not a wedged one.
+type failFile struct {
+	logFile
+	mu       sync.Mutex
+	okWrites int
+	okSyncs  int
+	failW    bool
+	failS    bool
+	failT    bool // Truncate fails too: the rewind path dies, breaking the store
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failW && f.okWrites == 0 {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	if f.failW {
+		f.okWrites--
+	}
+	return f.logFile.Write(p)
+}
+
+func (f *failFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failS && f.okSyncs == 0 {
+		return fmt.Errorf("injected fsync failure")
+	}
+	if f.failS {
+		f.okSyncs--
+	}
+	return f.logFile.Sync()
+}
+
+func (f *failFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failT {
+		return fmt.Errorf("injected truncate failure")
+	}
+	return f.logFile.Truncate(size)
+}
+
+// installFailFile routes the next Open's log file through a failFile
+// and returns it for arming. The hook is removed at cleanup.
+func installFailFile(t *testing.T) *failFile {
+	t.Helper()
+	ff := &failFile{}
+	testFileHook = func(f logFile) logFile {
+		ff.logFile = f
+		return ff
+	}
+	t.Cleanup(func() { testFileHook = nil })
+	return ff
+}
+
+func readLog(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGroupCommitFsyncFailure: records buffered by several concurrent
+// committers share one flush; when its fsync fails, every waiter of
+// the group observes the error, the log rewinds to the durable prefix,
+// and reopen+replay recovers exactly that prefix.
+func TestGroupCommitFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	ff := installFailFile(t)
+	s, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A durable prefix of two records.
+	good := []graph.DeltaOp{{Kind: graph.OpAddEntity, ID: "a", TypeName: "T"}}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Append(good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefix := readLog(t, dir)
+
+	// Arm: every further fsync fails. Buffer a group of records first,
+	// commit them concurrently — one leader flushes, all must fail.
+	ff.mu.Lock()
+	ff.failS = true
+	ff.mu.Unlock()
+	const group = 5
+	commits := make([]func() error, group)
+	for i := range commits {
+		op := []graph.DeltaOp{{Kind: graph.OpAddEntity, ID: fmt.Sprintf("g%d", i), TypeName: "T"}}
+		if _, commit, err := s.Begin(op); err != nil {
+			t.Fatal(err)
+		} else {
+			commits[i] = commit
+		}
+	}
+	errs := make([]error, group)
+	var wg sync.WaitGroup
+	for i := range commits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = commits[i]()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("group member %d committed despite fsync failure", i)
+		}
+	}
+	// The log is rewound to the durable prefix...
+	if got := readLog(t, dir); !bytes.Equal(got, prefix) {
+		t.Fatalf("log not rewound to the durable prefix: %d bytes, want %d", len(got), len(prefix))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and reopen+replay recovers exactly it.
+	testFileHook = nil
+	g, recs, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replay found %d records, want the 2 durable ones", len(recs))
+	}
+	if _, ok := g.Entity("a"); !ok {
+		t.Fatal("durable prefix lost")
+	}
+	if _, ok := g.Entity("g0"); ok {
+		t.Fatal("failed group leaked into the replayed graph")
+	}
+}
+
+// TestGroupCommitWriteFailure is the mid-append variant: the chunk
+// write itself fails before any byte lands.
+func TestGroupCommitWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	ff := installFailFile(t)
+	s, err := Open(dir, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]graph.DeltaOp{{Kind: graph.OpAddEntity, ID: "a", TypeName: "T"}}); err != nil {
+		t.Fatal(err)
+	}
+	prefix := readLog(t, dir)
+
+	ff.mu.Lock()
+	ff.failW = true
+	ff.mu.Unlock()
+	if _, err := s.Append([]graph.DeltaOp{{Kind: graph.OpAddEntity, ID: "b", TypeName: "T"}}); err == nil {
+		t.Fatal("append with failing write succeeded")
+	}
+	if got := readLog(t, dir); !bytes.Equal(got, prefix) {
+		t.Fatalf("log changed across a failed write: %d bytes, want %d", len(got), len(prefix))
+	}
+
+	// The store recovers once the device does: disarm, append again.
+	ff.mu.Lock()
+	ff.failW = false
+	ff.mu.Unlock()
+	if _, err := s.Append([]graph.DeltaOp{{Kind: graph.OpAddEntity, ID: "c", TypeName: "T"}}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	s.Close()
+
+	testFileHook = nil
+	g, recs, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replay found %d records, want 2 (failed seq leaves a gap)", len(recs))
+	}
+	if _, ok := g.Entity("b"); ok {
+		t.Fatal("failed record leaked into the replayed graph")
+	}
+	if _, ok := g.Entity("c"); !ok {
+		t.Fatal("post-recovery record lost")
+	}
+}
+
+// TestBrokenStoreRefusesSyncAndSnapshot: when a failed group cannot
+// even be rewound, the store breaks — and from then on Sync and
+// WriteSnapshot must report the breakage instead of pretending the
+// log is intact (a snapshot on a broken store would mark unflushed
+// records durable; a nil Sync would tell the caller dropped records
+// reached the disk).
+func TestBrokenStoreRefusesSyncAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ff := installFailFile(t)
+	s, err := Open(dir, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append([]graph.DeltaOp{{Kind: graph.OpAddEntity, ID: "a", TypeName: "T"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Write fails AND the rewind fails: the store must break.
+	ff.mu.Lock()
+	ff.failW, ff.failT = true, true
+	ff.mu.Unlock()
+	if _, err := s.Append([]graph.DeltaOp{{Kind: graph.OpAddEntity, ID: "b", TypeName: "T"}}); err == nil {
+		t.Fatal("append with failing write+rewind succeeded")
+	}
+	if _, _, err := s.Begin(nil); err == nil {
+		t.Fatal("Begin on a broken store succeeded")
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync on a broken store reported success")
+	}
+	if err := s.WriteSnapshot(graph.New(), nil); err == nil {
+		t.Fatal("WriteSnapshot on a broken store reported success")
+	}
+}
+
+// TestFaultyFsyncLeavesGraphUnmutated is the end-to-end contract over
+// the planned write path: concurrent writers stream deltas through
+// ApplyDeltaLogged with group commit; when fsync starts failing, every
+// affected Apply errors, the graph stays byte-identical to its durable
+// state, and reopen+replay reconstructs exactly that state.
+func TestFaultyFsyncLeavesGraphUnmutated(t *testing.T) {
+	dir := t.TempDir()
+	ff := installFailFile(t)
+	s, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := testutil.New(testutil.Config{Seed: 21, Groups: 4, PerGroup: 6})
+	g := graph.New()
+	hook := func(ops []graph.DeltaOp) (graph.DeltaCommit, error) {
+		_, commit, err := s.Begin(ops)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DeltaCommit(commit), nil
+	}
+	if _, err := g.ApplyDeltaLogged(gen.Seed(), hook); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: a round of concurrent writers lands durably.
+	apply := func(round int) ([]error, []*graph.DeltaResult) {
+		errs := make([]error, gen.Config().Groups)
+		results := make([]*graph.DeltaResult, gen.Config().Groups)
+		var wg sync.WaitGroup
+		for w := 0; w < gen.Config().Groups; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w], errs[w] = g.ApplyDeltaLogged(gen.Delta(w, round), hook)
+			}(w)
+		}
+		wg.Wait()
+		return errs, results
+	}
+	errs, _ := apply(0)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var durable bytes.Buffer
+	if err := g.WriteText(&durable); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: the device dies mid-fsync. Every concurrent writer must
+	// observe the error and the graph must not move.
+	ff.mu.Lock()
+	ff.failS = true
+	ff.mu.Unlock()
+	errs, results := apply(1)
+	failed := 0
+	for w, err := range errs {
+		if err == nil {
+			// Only a delta that coalesced to a no-op (and so was never
+			// logged) may succeed with a dead device.
+			if results[w] == nil || !results[w].Empty() {
+				t.Fatalf("writer %d mutated the graph despite fsync failure", w)
+			}
+			continue
+		}
+		failed++
+	}
+	if failed == 0 {
+		t.Fatal("no writer exercised the failing fsync")
+	}
+	var after bytes.Buffer
+	if err := g.WriteText(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(durable.Bytes(), after.Bytes()) {
+		t.Fatal("failed group mutated the graph")
+	}
+	s.Close()
+
+	// Reopen + replay recovers the durable prefix exactly.
+	testFileHook = nil
+	rg, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed bytes.Buffer
+	if err := rg.WriteText(&replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(durable.Bytes(), replayed.Bytes()) {
+		t.Fatalf("replay diverges from the durable state:\nreplayed:\n%s\ndurable:\n%s", replayed.String(), durable.String())
+	}
+}

@@ -66,18 +66,54 @@ type Record struct {
 	Ops []graph.DeltaOp
 }
 
-// Store is an open WAL directory. Append is safe for concurrent use;
-// the loader methods (SnapshotGraph, SnapshotPairs, Records) report
-// the state found at Open.
+// logFile is the slice of *os.File the append path uses. It exists as
+// an interface so the fault-injection tests can interpose a wrapper
+// that errors mid-append or mid-fsync (see testFileHook).
+type logFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// testFileHook, when non-nil, wraps the log file at Open. Tests use it
+// to inject write/fsync failures; production code never sets it.
+var testFileHook func(logFile) logFile
+
+// pendingRec is one encoded record buffered for the next group flush.
+type pendingRec struct {
+	seq uint64
+	rec []byte // header + payload
+}
+
+// Store is an open WAL directory. Append and Begin are safe for
+// concurrent use; the loader methods (SnapshotGraph, SnapshotPairs,
+// Records) report the state found at Open.
 type Store struct {
 	dir    string
 	policy SyncPolicy
 
 	mu   sync.Mutex
-	f    *os.File
+	cond *sync.Cond // group-commit waiters (commitWait, quiesce)
+	f    logFile
 	lock *os.File // exclusive dir lock (see lockDir)
 	off  int64    // current append offset (end of the good prefix)
 	seq  uint64   // last assigned sequence number
+
+	// Group-commit state: Begin buffers encoded records here in seq
+	// order; the first commit caller to find no flush in progress
+	// becomes the leader, writes every buffered record as one chunk
+	// and fsyncs once per policy; the others wait. durable is the last
+	// seq the log file holds (synced under SyncAlways); failed maps
+	// the seqs of a failed chunk to its error, so every waiter of the
+	// group observes it; broken disables the store when a failed chunk
+	// cannot even be rewound.
+	pending    []pendingRec
+	committing bool
+	durable    uint64
+	failed     map[uint64]error
+	broken     error
 
 	snapSeq   uint64
 	snapGraph *graph.Graph
@@ -99,7 +135,8 @@ func Open(dir string, policy SyncPolicy) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, policy: policy, lock: lock}
+	s := &Store{dir: dir, policy: policy, lock: lock, failed: make(map[uint64]error)}
+	s.cond = sync.NewCond(&s.mu)
 	if err := s.loadSnapshot(); err != nil {
 		unlockDir(lock)
 		return nil, err
@@ -108,6 +145,7 @@ func Open(dir string, policy SyncPolicy) (*Store, error) {
 		unlockDir(lock)
 		return nil, err
 	}
+	s.durable = s.seq // everything found on disk is already durable
 	return s, nil
 }
 
@@ -134,58 +172,174 @@ func (s *Store) Seq() uint64 {
 	return s.seq
 }
 
-// Append encodes and appends one record, fsyncing per the policy, and
-// returns its sequence number. Callers that need log order to match an
-// external serialization (the graph's plan order) must call Append
-// inside that serialization — the write path's DeltaLog hook does.
-//
-// On any write or fsync failure the log is rewound to its pre-call
-// state, so a delta the caller aborted never leaves a replayable (or
-// prefix-poisoning partial) record behind; if even the rewind fails,
-// the store marks itself broken and refuses further appends rather
-// than risk acknowledged records landing after garbage.
+// Append encodes, appends and commits one record, fsyncing per the
+// policy, and returns its sequence number. It is Begin followed
+// immediately by the commit — callers that can overlap their
+// durability wait with other writers (the planned write path) use
+// Begin directly and group-commit instead.
 func (s *Store) Append(ops []graph.DeltaOp) (uint64, error) {
+	seq, commit, err := s.Begin(ops)
+	if err != nil {
+		return 0, err
+	}
+	if err := commit(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Begin assigns the next sequence number to the record and buffers its
+// encoding, without touching the file: the returned commit function
+// performs (or joins) the group flush and blocks until this record is
+// durably appended per the policy, returning the flush error if its
+// group failed. Buffering order is seq order, so callers that need log
+// order to match an external serialization (the graph's plan order)
+// call Begin inside that serialization and commit outside it — one
+// fsync then covers every record buffered by concurrent planners
+// (group commit: a single leader writes the chunk and fsyncs, the
+// other waiters just observe the outcome).
+//
+// On a failed flush the log is rewound to the group's start, so an
+// aborted delta never leaves a replayable (or prefix-poisoning
+// partial) record behind; every commit of the failed group reports the
+// error, and later groups append from the rewound offset. If even the
+// rewind fails, the store marks itself broken and refuses further
+// appends rather than risk acknowledged records landing after garbage.
+func (s *Store) Begin(ops []graph.DeltaOp) (uint64, func() error, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken != nil {
+		return 0, nil, s.broken
+	}
 	if s.f == nil {
-		return 0, fmt.Errorf("wal: store is closed or broken")
+		return 0, nil, fmt.Errorf("wal: store is closed")
 	}
 	s.seq++
-	payload := encodePayload(s.seq, ops)
+	seq := s.seq
+	payload := encodePayload(seq, ops)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	rec := append(hdr[:], payload...)
-	fail := func(what string, err error) (uint64, error) {
-		s.seq--
-		if terr := s.f.Truncate(s.off); terr != nil {
-			s.f.Close()
-			s.f = nil
-			return 0, fmt.Errorf("wal: %s: %v (rewind also failed: %v; store disabled)", what, err, terr)
-		}
-		if _, serr := s.f.Seek(s.off, io.SeekStart); serr != nil {
-			s.f.Close()
-			s.f = nil
-			return 0, fmt.Errorf("wal: %s: %v (rewind also failed: %v; store disabled)", what, err, serr)
-		}
-		return 0, fmt.Errorf("wal: %s: %v", what, err)
-	}
-	if _, err := s.f.Write(rec); err != nil {
-		return fail("append", err)
-	}
-	if s.policy == SyncAlways {
-		if err := s.f.Sync(); err != nil {
-			return fail("fsync", err)
-		}
-	}
-	s.off += int64(len(rec))
-	return s.seq, nil
+	s.pending = append(s.pending, pendingRec{seq: seq, rec: append(hdr[:], payload...)})
+	return seq, func() error { return s.commitWait(seq) }, nil
 }
 
-// Sync flushes the log to disk regardless of policy.
+// commitWait blocks until seq's group flush resolves, leading the
+// flush itself when no other committer is.
+func (s *Store) commitWait(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err, ok := s.failed[seq]; ok {
+			delete(s.failed, seq)
+			return err
+		}
+		if seq <= s.durable {
+			return nil
+		}
+		if s.broken != nil {
+			return s.broken
+		}
+		if s.f == nil {
+			return fmt.Errorf("wal: store closed before commit of seq %d", seq)
+		}
+		if s.committing {
+			s.cond.Wait()
+			continue
+		}
+		s.flushGroupLocked()
+	}
+}
+
+// flushGroupLocked writes every pending record as one chunk and syncs
+// once per policy. Caller holds s.mu; the lock is released during the
+// file I/O so new Begins keep buffering the next group, and reacquired
+// to publish the outcome. On return the flush (if any) has fully
+// resolved and s.committing is false again.
+func (s *Store) flushGroupLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	group := s.pending
+	s.pending = nil
+	s.committing = true
+	n := 0
+	for _, pr := range group {
+		n += len(pr.rec)
+	}
+	chunk := make([]byte, 0, n)
+	for _, pr := range group {
+		chunk = append(chunk, pr.rec...)
+	}
+	f := s.f
+	s.mu.Unlock()
+	var ferr error
+	if _, err := f.Write(chunk); err != nil {
+		ferr = fmt.Errorf("wal: append: %v", err)
+	} else if s.policy == SyncAlways {
+		if err := f.Sync(); err != nil {
+			ferr = fmt.Errorf("wal: fsync: %v", err)
+		}
+	}
+	s.mu.Lock()
+	s.committing = false
+	if ferr == nil {
+		s.off += int64(len(chunk))
+		s.durable = group[len(group)-1].seq
+	} else {
+		// The whole group fails: rewind the file to the group start so
+		// no partial record poisons the prefix, and route the error to
+		// every waiter of the group. Later groups (already buffering in
+		// s.pending) append from the rewound offset; their seqs leave a
+		// gap in the log, which replay tolerates (records carry their
+		// seq and order is all that matters).
+		for _, pr := range group {
+			s.failed[pr.seq] = ferr
+		}
+		if terr := s.f.Truncate(s.off); terr != nil {
+			s.breakLocked(fmt.Errorf("%v (rewind also failed: %v; store disabled)", ferr, terr))
+		} else if _, serr := s.f.Seek(s.off, io.SeekStart); serr != nil {
+			s.breakLocked(fmt.Errorf("%v (rewind also failed: %v; store disabled)", ferr, serr))
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// breakLocked disables the store after an unrecoverable append-path
+// failure. Caller holds s.mu.
+func (s *Store) breakLocked(err error) {
+	s.broken = fmt.Errorf("wal: %v", err)
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// quiesceLocked waits out any in-progress flush and flushes whatever
+// is still buffered, so the log file is the complete record of every
+// Begin so far. Caller holds s.mu.
+func (s *Store) quiesceLocked() {
+	for s.committing {
+		s.cond.Wait()
+	}
+	for len(s.pending) > 0 && s.broken == nil && s.f != nil {
+		s.flushGroupLocked()
+		for s.committing {
+			s.cond.Wait()
+		}
+	}
+}
+
+// Sync flushes the log to disk regardless of policy. On a broken
+// store it reports the breakage: buffered records may have been
+// dropped, so pretending the log is flushed would be a lie.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.quiesceLocked()
+	if s.broken != nil {
+		return s.broken
+	}
 	if s.f == nil {
 		return nil
 	}
@@ -199,6 +353,14 @@ func (s *Store) Sync() error {
 func (s *Store) WriteSnapshot(g *graph.Graph, pairs [][2]string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.quiesceLocked()
+	// A broken store may hold buffered records quiesce could not
+	// flush; writing a snapshot that covers their sequence numbers
+	// would mark them durable (and let their pending commits succeed)
+	// even though they never reached the disk. Refuse instead.
+	if s.broken != nil {
+		return s.broken
+	}
 	// The snapshot is line/tab-structured text, which cannot represent
 	// entity IDs, type names or predicates containing tabs or newlines
 	// (the binary log records them fine). Refuse rather than write a
@@ -260,6 +422,7 @@ func (s *Store) WriteSnapshot(g *graph.Graph, pairs [][2]string) error {
 		df.Close()
 	}
 	s.snapSeq = s.seq
+	s.durable = s.seq
 	if s.f != nil {
 		if err := s.f.Truncate(int64(len(logMagic))); err != nil {
 			return fmt.Errorf("wal: truncate: %v", err)
@@ -275,11 +438,12 @@ func (s *Store) WriteSnapshot(g *graph.Graph, pairs [][2]string) error {
 	return nil
 }
 
-// Close closes the log file and releases the directory lock. Further
-// Appends fail.
+// Close flushes any buffered records, closes the log file and releases
+// the directory lock. Further Appends fail.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.quiesceLocked()
 	unlockDir(s.lock)
 	s.lock = nil
 	if s.f == nil {
@@ -287,6 +451,7 @@ func (s *Store) Close() error {
 	}
 	err := s.f.Close()
 	s.f = nil
+	s.cond.Broadcast()
 	return err
 }
 
@@ -419,7 +584,7 @@ func (s *Store) openLog() error {
 			f.Close()
 			return fmt.Errorf("wal: write magic: %v", err)
 		}
-		s.f = f
+		s.f = wrapLogFile(f)
 		s.off = int64(len(logMagic))
 		return nil
 	}
@@ -473,9 +638,17 @@ func (s *Store) openLog() error {
 		f.Close()
 		return fmt.Errorf("wal: %v", err)
 	}
-	s.f = f
+	s.f = wrapLogFile(f)
 	s.off = good
 	return nil
+}
+
+// wrapLogFile applies the test-only fault-injection hook.
+func wrapLogFile(f *os.File) logFile {
+	if testFileHook != nil {
+		return testFileHook(f)
+	}
+	return f
 }
 
 // Payload encoding: uvarint seq, uvarint op count, then per op one

@@ -19,13 +19,18 @@ func graphText(t *testing.T, g *graph.Graph) []byte {
 }
 
 // logDeltas applies the deltas to g through the store's write-ahead
-// hook, so the log records exactly what the graph absorbed.
+// hook, so the log records exactly what the graph absorbed. It uses
+// the Begin/commit (group-commit) form, the one the durable matcher
+// wires up.
 func logDeltas(t *testing.T, g *graph.Graph, s *Store, ds ...*graph.Delta) {
 	t.Helper()
 	for _, d := range ds {
-		if _, err := g.ApplyDeltaLogged(d, func(ops []graph.DeltaOp) error {
-			_, err := s.Append(ops)
-			return err
+		if _, err := g.ApplyDeltaLogged(d, func(ops []graph.DeltaOp) (graph.DeltaCommit, error) {
+			_, commit, err := s.Begin(ops)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DeltaCommit(commit), nil
 		}); err != nil {
 			t.Fatal(err)
 		}

@@ -108,7 +108,10 @@ func NewMatcher(g *Graph, ks *KeySet, opts Options) (*Matcher, error) {
 	if g == nil || ks == nil {
 		return nil, fmt.Errorf("graphkeys: NewMatcher requires a graph and a key set")
 	}
-	eng, err := inc.New(g.g, ks.set, inc.Options{Match: match.Options{ValueEq: opts.ValueEq, Workers: opts.Workers}})
+	eng, err := inc.New(g.g, ks.set, inc.Options{
+		Match:       match.Options{ValueEq: opts.ValueEq, Workers: opts.Workers},
+		Parallelism: opts.parallelism(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -297,9 +300,17 @@ func OpenMatcher(dir string, ks *KeySet, opts Options) (*Matcher, error) {
 			return nil, fmt.Errorf("graphkeys: replay of WAL records %d..%d: %v", recs[0].Seq, recs[len(recs)-1].Seq, err)
 		}
 	}
-	m.eng.SetLog(func(ops []graph.DeltaOp) error {
-		_, err := store.Append(ops)
-		return err
+	// The write-ahead hook buffers the record under the plan mutex and
+	// hands back the group-commit wait: the fsync (under
+	// DurabilityFsync) runs after the plan mutex is released, so
+	// disjoint-footprint writers share one fsync per group instead of
+	// serializing a sync each inside the plan lock.
+	m.eng.SetLog(func(ops []graph.DeltaOp) (graph.DeltaCommit, error) {
+		_, commit, err := store.Begin(ops)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DeltaCommit(commit), nil
 	})
 	m.store = store
 	return m, nil

@@ -7,46 +7,39 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"graphkeys/internal/graph"
+	"graphkeys/internal/testutil"
 )
 
-// batchFixture builds a graph of grouped persons; deltas built by
-// batchDelta stay inside one group, so batch members are independent.
-func batchFixture(t *testing.T, groups, perGroup int) (*Graph, *KeySet) {
+// wrapDelta lifts a generated graph-level delta into the public Delta
+// the Matcher applies; wrapDeltas lifts a whole batch. The shared
+// testutil generator works at the graph level so the inc, plan and WAL
+// tests can drive it too.
+func wrapDelta(gd *graph.Delta) *Delta { return &Delta{d: *gd} }
+
+func wrapDeltas(gds []*graph.Delta) []*Delta {
+	out := make([]*Delta, len(gds))
+	for i, gd := range gds {
+		out[i] = wrapDelta(gd)
+	}
+	return out
+}
+
+// batchFixture builds the grouped fixture of the shared generator:
+// deltas at Overlap 0 stay inside one group, so batch members are
+// independent.
+func batchFixture(t *testing.T, gen *testutil.Generator) (*Graph, *KeySet) {
 	t.Helper()
 	g := NewGraph()
-	for w := 0; w < groups; w++ {
-		for i := 0; i < perGroup; i++ {
-			id := fmt.Sprintf("g%d-p%d", w, i)
-			if err := g.AddEntity(id, "person"); err != nil {
-				t.Fatal(err)
-			}
-			if err := g.AddValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, i/2)); err != nil {
-				t.Fatal(err)
-			}
-		}
+	if _, err := g.g.ApplyDelta(gen.Seed()); err != nil {
+		t.Fatal(err)
 	}
-	ks, err := ParseKeys(`key P for person {
-		x -email-> e*
-	}`)
+	ks, err := ParseKeys(gen.Keys())
 	if err != nil {
 		t.Fatal(err)
 	}
 	return g, ks
-}
-
-func batchDelta(w, round, perGroup int) *Delta {
-	i := round % perGroup
-	id := fmt.Sprintf("g%d-p%d", w, i)
-	d := NewDelta()
-	d.RemoveValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, i/2))
-	d.AddValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, (i/2+round)%perGroup))
-	if round%5 == 2 {
-		other := fmt.Sprintf("g%d-p%d", w, (i+1)%perGroup)
-		d.RemoveEntity(other)
-		d.AddEntity(other, "person")
-		d.AddValueTriple(other, "email", fmt.Sprintf("g%d-fresh%d", w, round))
-	}
-	return d
 }
 
 // TestApplyBatchMatchesSerialApplication: concurrent ApplyBatch over
@@ -58,7 +51,14 @@ func TestApplyBatchMatchesSerialApplication(t *testing.T) {
 	const perGroup = 10
 	const rounds = 6
 
-	g, ks := batchFixture(t, groups, perGroup)
+	gen := testutil.New(testutil.Config{
+		Seed:        3,
+		Groups:      groups,
+		PerGroup:    perGroup,
+		EntityChurn: true,
+		Coalesce:    true,
+	})
+	g, ks := batchFixture(t, gen)
 	m, err := NewMatcher(g, ks, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -82,11 +82,7 @@ func TestApplyBatchMatchesSerialApplication(t *testing.T) {
 		}(r)
 	}
 	for round := 0; round < rounds; round++ {
-		batch := make([]*Delta, groups)
-		for w := 0; w < groups; w++ {
-			batch[w] = batchDelta(w, round, perGroup)
-		}
-		if _, _, err := m.ApplyBatch(batch); err != nil {
+		if _, _, err := m.ApplyBatch(wrapDeltas(gen.Round(round))); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 	}
@@ -94,14 +90,14 @@ func TestApplyBatchMatchesSerialApplication(t *testing.T) {
 	wg.Wait()
 
 	// Serial reference: same deltas, one at a time, on a fresh fixture.
-	sg, _ := batchFixture(t, groups, perGroup)
+	sg, _ := batchFixture(t, gen)
 	sm, err := NewMatcher(sg, ks, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for round := 0; round < rounds; round++ {
 		for w := 0; w < groups; w++ {
-			if _, _, err := sm.Apply(batchDelta(w, round, perGroup)); err != nil {
+			if _, _, err := sm.Apply(wrapDelta(gen.Delta(w, round))); err != nil {
 				t.Fatalf("serial round %d group %d: %v", round, w, err)
 			}
 		}
@@ -125,7 +121,8 @@ func TestApplyBatchMatchesSerialApplication(t *testing.T) {
 // TestApplyBatchPartialFailure: a batch member that fails validation
 // is skipped and reported while the rest of the batch applies.
 func TestApplyBatchPartialFailure(t *testing.T) {
-	g, ks := batchFixture(t, 2, 4)
+	gen := testutil.New(testutil.Config{Seed: 3, Groups: 2, PerGroup: 4})
+	g, ks := batchFixture(t, gen)
 	m, err := NewMatcher(g, ks, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -160,30 +157,23 @@ func TestApplyBatchPartialFailure(t *testing.T) {
 
 // TestWriterCoalesces: a burst of small deltas through the async
 // Writer lands in fewer batches than deltas and ends in the serial
-// state. Every delta targets a distinct entity — Writer batches may
-// reorder conflicting deltas, so a stream's deltas must be
-// independent (the Writer contract).
+// state. The generator's Independent stream targets a distinct entity
+// per delta — Writer batches may reorder conflicting deltas, so a
+// stream's deltas must be independent (the Writer contract).
 func TestWriterCoalesces(t *testing.T) {
 	const groups = 6
 	const perGroup = 8
 	const deltas = groups * perGroup
 
-	// writerDelta targets exactly entity i, so all deltas commute.
-	writerDelta := func(i int) *Delta {
-		w, j := i/perGroup, i%perGroup
-		id := fmt.Sprintf("g%d-p%d", w, j)
-		d := NewDelta()
-		d.RemoveValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, j/2))
-		d.AddValueTriple(id, "email", fmt.Sprintf("g%d-mail%d", w, (j/2+3)%perGroup))
-		if i%5 == 2 {
-			d.RemoveEntity(id)
-			d.AddEntity(id, "person")
-			d.AddValueTriple(id, "email", fmt.Sprintf("g%d-fresh%d", w, i))
-		}
-		return d
-	}
+	gen := testutil.New(testutil.Config{
+		Seed:        9,
+		Groups:      groups,
+		PerGroup:    perGroup,
+		EntityChurn: true,
+	})
+	writerDelta := func(i int) *Delta { return wrapDelta(gen.Independent(i)) }
 
-	g, ks := batchFixture(t, groups, perGroup)
+	g, ks := batchFixture(t, gen)
 	m, err := NewMatcher(g, ks, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +205,7 @@ func TestWriterCoalesces(t *testing.T) {
 		t.Fatal("Apply after Close succeeded")
 	}
 
-	sg, _ := batchFixture(t, groups, perGroup)
+	sg, _ := batchFixture(t, gen)
 	sm, err := NewMatcher(sg, ks, Options{})
 	if err != nil {
 		t.Fatal(err)

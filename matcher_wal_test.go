@@ -2,82 +2,37 @@ package graphkeys
 
 import (
 	"bytes"
-	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
 	"testing"
+
+	"graphkeys/internal/testutil"
 )
 
-// walFixtureKeys returns a key set with a value-anchored key and a
-// recursive key, so the replayed fixpoint exercises both repair paths.
-func walFixtureKeys(t *testing.T) *KeySet {
-	t.Helper()
-	ks, err := ParseKeys(`
-key P for person {
-    x -email-> e*
+// walGen is the shared-generator configuration of the WAL tests: a
+// value-anchored key and a recursive key (Bands), entity churn, and
+// coalescing ops, so the replayed fixpoint exercises every repair
+// path and the log sees partially-coalescing deltas.
+func walGen(seed int64) *testutil.Generator {
+	return testutil.New(testutil.Config{
+		Seed:        seed,
+		Groups:      3,
+		PerGroup:    8,
+		Bands:       true,
+		EntityChurn: true,
+		Coalesce:    true,
+	})
 }
-key B for band {
-    x -name_of-> n*
-    x -led_by-> $y:person
-}`)
+
+func walFixtureKeys(t *testing.T, gen *testutil.Generator) *KeySet {
+	t.Helper()
+	ks, err := ParseKeys(gen.Keys())
 	if err != nil {
 		t.Fatal(err)
 	}
 	return ks
-}
-
-// seedDelta builds the initial population as one delta: persons with
-// colliding emails, bands led by them.
-func seedDelta(ents int) *Delta {
-	d := NewDelta()
-	for i := 0; i < ents; i++ {
-		id := fmt.Sprintf("p%d", i)
-		d.AddEntity(id, "person")
-		d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", i/2))
-	}
-	for i := 0; i < ents/2; i++ {
-		id := fmt.Sprintf("b%d", i)
-		d.AddEntity(id, "band")
-		d.AddValueTriple(id, "name_of", fmt.Sprintf("band%d", i/2))
-		d.AddEntityTriple(id, "led_by", fmt.Sprintf("p%d", i%ents))
-	}
-	return d
-}
-
-// randomDelta mirrors the PR 3 differential harness's mutation mix:
-// remove/re-add value triples, flip emails, occasionally remove and
-// re-create a whole entity.
-func randomDelta(rng *rand.Rand, ents int, round int) *Delta {
-	d := NewDelta()
-	switch rng.Intn(4) {
-	case 0: // email churn
-		i := rng.Intn(ents)
-		id := fmt.Sprintf("p%d", i)
-		d.RemoveValueTriple(id, "email", fmt.Sprintf("mail%d", i/2))
-		d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", rng.Intn(ents/2+1)))
-	case 1: // band rename
-		i := rng.Intn(ents/2 + 1)
-		id := fmt.Sprintf("b%d", i%(ents/2))
-		d.RemoveValueTriple(id, "name_of", fmt.Sprintf("band%d", (i%(ents/2))/2))
-		d.AddValueTriple(id, "name_of", fmt.Sprintf("band%d", rng.Intn(ents/4+1)))
-	case 2: // entity churn: drop a person and re-add with a fresh email
-		i := rng.Intn(ents)
-		id := fmt.Sprintf("p%d", i)
-		d.RemoveEntity(id)
-		d.AddEntity(id, "person")
-		d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", rng.Intn(ents/2+1)))
-	case 3: // a delta with internal churn that partially coalesces
-		i := rng.Intn(ents)
-		id := fmt.Sprintf("p%d", i)
-		lit := fmt.Sprintf("note-%d", round)
-		d.AddValueTriple(id, "note", lit)
-		d.AddValueTriple(id, "note", lit)
-		d.RemoveValueTriple(id, "note", lit)
-	}
-	return d
 }
 
 // sortedPairs normalizes matches into sorted {min, max} label pairs,
@@ -99,8 +54,8 @@ func sortedPairs(ms []Pair) []Pair {
 	return out
 }
 
-// runCrashReplay streams N random deltas through a durable matcher
-// with fsync'd WAL (optionally snapshotting midway), drops the
+// runCrashReplay streams random generated deltas through a durable
+// matcher with fsync'd WAL (optionally snapshotting midway), drops the
 // in-memory state, reopens the directory, and asserts the
 // reconstruction. Without a snapshot the replayed matcher is
 // byte-identical down to the dense node IDs, so the raw Matches lists
@@ -108,21 +63,20 @@ func sortedPairs(ms []Pair) []Pair {
 // byte-identical but IDs renumber from the canonical snapshot order,
 // so pairs compare as sorted label pairs.
 func runCrashReplay(t *testing.T, snapshotMidway bool) {
-	const ents = 24
 	const rounds = 30
 	dir := t.TempDir()
-	ks := walFixtureKeys(t)
+	gen := walGen(7)
+	ks := walFixtureKeys(t, gen)
 
 	m, err := OpenMatcher(dir, ks, Options{Durability: DurabilityFsync})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Apply(seedDelta(ents)); err != nil {
+	if _, _, err := m.Apply(wrapDelta(gen.Seed())); err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(7))
-	for round := 0; round < rounds; round++ {
-		if _, _, err := m.Apply(randomDelta(rng, ents, round)); err != nil {
+	for round, gd := range gen.Sequence(rounds) {
+		if _, _, err := m.Apply(wrapDelta(gd)); err != nil {
 			t.Fatal(err)
 		}
 		if snapshotMidway && round == rounds/2 {
@@ -187,13 +141,14 @@ func TestCrashReplayDifferentialSnapshot(t *testing.T) { runCrashReplay(t, true)
 // delta that normalizes to a no-op leaves the log byte-identical.
 func TestNoopDeltaWritesNoWALRecord(t *testing.T) {
 	dir := t.TempDir()
-	ks := walFixtureKeys(t)
+	gen := walGen(7)
+	ks := walFixtureKeys(t, gen)
 	m, err := OpenMatcher(dir, ks, Options{Durability: DurabilityFsync})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, _, err := m.Apply(seedDelta(8)); err != nil {
+	if _, _, err := m.Apply(wrapDelta(gen.Seed())); err != nil {
 		t.Fatal(err)
 	}
 	logPath := filepath.Join(dir, "wal.log")
@@ -203,9 +158,9 @@ func TestNoopDeltaWritesNoWALRecord(t *testing.T) {
 	}
 
 	noop := NewDelta().
-		AddValueTriple("p0", "scratch", "v").
-		AddValueTriple("p0", "scratch", "v"). // dup
-		RemoveValueTriple("p0", "scratch", "v")
+		AddValueTriple("g0-p0", "scratch", "v").
+		AddValueTriple("g0-p0", "scratch", "v"). // dup
+		RemoveValueTriple("g0-p0", "scratch", "v")
 	if _, _, err := m.Apply(noop); err != nil {
 		t.Fatal(err)
 	}
@@ -223,12 +178,13 @@ func TestNoopDeltaWritesNoWALRecord(t *testing.T) {
 // survive Snapshot + reopen and accept triples afterwards.
 func TestSnapshotKeepsTriplelessEntities(t *testing.T) {
 	dir := t.TempDir()
-	ks := walFixtureKeys(t)
+	gen := walGen(7)
+	ks := walFixtureKeys(t, gen)
 	m, err := OpenMatcher(dir, ks, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Apply(seedDelta(8)); err != nil {
+	if _, _, err := m.Apply(wrapDelta(gen.Seed())); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := m.Apply(NewDelta().AddEntity("lonely", "person")); err != nil {
@@ -247,11 +203,15 @@ func TestSnapshotKeepsTriplelessEntities(t *testing.T) {
 	if _, ok := re.Graph().HasEntity("lonely"); !ok {
 		t.Fatal("tripleless entity lost by snapshot compaction")
 	}
-	if _, _, err := re.Apply(NewDelta().AddValueTriple("lonely", "email", "mail0")); err != nil {
+	// The seed gives g0-p0 the email g0-mail0; joining that collision
+	// class identifies lonely with it.
+	if _, _, err := re.Apply(NewDelta().
+		AddValueTriple("lonely", "email", "g0-mail0").
+		AddValueTriple("g0-p0", "email", "g0-mail0")); err != nil {
 		t.Fatalf("triple on revived entity: %v", err)
 	}
-	if !re.Same("lonely", "p0") {
-		t.Fatal("revived entity did not join p0's class")
+	if !re.Same("lonely", "g0-p0") {
+		t.Fatal("revived entity did not join g0-p0's class")
 	}
 }
 
@@ -260,12 +220,13 @@ func TestSnapshotKeepsTriplelessEntities(t *testing.T) {
 // pairs.
 func TestOpenMatcherDetectsSnapshotMismatch(t *testing.T) {
 	dir := t.TempDir()
-	ks := walFixtureKeys(t)
+	gen := walGen(7)
+	ks := walFixtureKeys(t, gen)
 	m, err := OpenMatcher(dir, ks, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Apply(seedDelta(8)); err != nil {
+	if _, _, err := m.Apply(wrapDelta(gen.Seed())); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Snapshot(); err != nil {
