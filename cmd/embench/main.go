@@ -16,23 +16,30 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
 
 	"graphkeys/internal/bench"
+	"graphkeys/internal/engine"
+	"graphkeys/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations | parallelchase | writepath | repair | groupcommit")
+		exp     = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations | parallelchase | writepath | repair | groupcommit | obsoverhead")
 		quick   = flag.Bool("quick", false, "smoke-sized datasets")
 		csv     = flag.Bool("csv", false, "CSV output")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
 		seed    = flag.Int64("seed", 1, "random seed")
 		jsonOut = flag.String("jsonout", "", "parallelchase: write the JSON report to this file")
+
+		metricsAddr = flag.String("metrics", "", "serve engine metrics and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
+	serveMetrics(*metricsAddr)
 
 	cfg := bench.DefaultBuild()
 	cfg.Seed = *seed
@@ -200,6 +207,30 @@ func main() {
 			}
 			return t, nil
 		}},
+		{"obsoverhead", func() (*bench.Table, error) {
+			// The instrumentation budget: bare vs fully instrumented
+			// write-path and repair runs; CI publishes the report as
+			// BENCH_obs_overhead.json.
+			nDeltas := 192
+			if *quick {
+				nDeltas = 48
+			}
+			t, rep, err := bench.ObsOverheadExp(bench.SyntheticDS, cfg, 4, nDeltas)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonOut != "" {
+				data, err := rep.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "embench: wrote %s\n", *jsonOut)
+			}
+			return t, nil
+		}},
 	}
 
 	ran := 0
@@ -221,4 +252,32 @@ func main() {
 	if ran == 0 {
 		log.Fatalf("embench: unknown experiment %q", *exp)
 	}
+}
+
+// serveMetrics starts a background HTTP server on addr exposing pprof
+// (/debug/pprof/) plus the engine substrate's instruments (worker
+// utilization, fan-out counts) in Prometheus text at /metrics and
+// JSON at /vars. Matcher-based experiments rebind the process-global
+// engine hook to their own registry while they run, so the engine.*
+// series here covers the direct-engine experiments. No-op when addr
+// is empty.
+func serveMetrics(addr string) {
+	if addr == "" {
+		return
+	}
+	reg := obs.NewRegistry()
+	engine.RegisterObs(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(reg, nil))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("embench: metrics server: %v", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "embench: serving metrics on %s\n", addr)
 }

@@ -22,6 +22,10 @@
 // -replay DIR emrun reconstructs the matcher purely from DIR (no graph
 // file needed) and prints the recovered pairs — pass -graph too to
 // verify the reconstruction against a reference graph file.
+//
+// With -metrics ADDR emrun serves the matcher's live instruments over
+// HTTP while it runs: Prometheus text at /metrics, a JSON snapshot at
+// /vars, recent phase spans at /events, and pprof under /debug/pprof/.
 package main
 
 import (
@@ -30,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"reflect"
 	"strings"
@@ -57,6 +63,8 @@ func main() {
 		replayDir = flag.String("replay", "", "reconstruct the matcher from this WAL directory and print its pairs")
 		fsync     = flag.Bool("fsync", true, "wal/replay: fsync every WAL record")
 		snapshot  = flag.Bool("snapshot", false, "wal: write a snapshot (compact the log) before exiting")
+
+		metricsAddr = flag.String("metrics", "", "serve the matcher's metrics and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	// A graph file is needed except when reconstructing from a WAL:
@@ -82,7 +90,7 @@ func main() {
 	}
 
 	if *replayDir != "" {
-		runReplay(*replayDir, *graphPath, ks, durOpts, *classes)
+		runReplay(*replayDir, *graphPath, ks, durOpts, *classes, *metricsAddr)
 		return
 	}
 
@@ -109,6 +117,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		serveMetrics(*metricsAddr, m)
 		fmt.Fprintf(os.Stderr, "emrun: matcher ready: %d triples, %d pairs\n",
 			m.Graph().NumTriples(), len(m.Result().Matches))
 		if *incremental {
@@ -154,11 +163,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		serveMetrics(*metricsAddr, m)
 		fmt.Fprintf(os.Stderr, "emrun: initial full chase: %d pairs in %v\n",
 			len(m.Result().Matches), time.Since(start).Round(time.Microsecond))
 		runIncremental(m, ks, *rounds, *deltaFrac, *mutSeed, *verify, *p)
 		return
 	}
+
+	// One-shot modes have no matcher to instrument; -metrics still
+	// serves pprof for profiling the run.
+	serveMetrics(*metricsAddr, nil)
 
 	if *validate {
 		vs, err := graphkeys.Validate(g, ks, graphkeys.Options{})
@@ -182,6 +196,32 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "emrun: %d pairs in %v\n", len(res.Matches), time.Since(start).Round(time.Microsecond))
 	printResult(res, *classes)
+}
+
+// serveMetrics starts a background HTTP server on addr exposing the
+// matcher's instruments (/metrics Prometheus text, /vars JSON,
+// /events recent phase spans) and the pprof profiling endpoints under
+// /debug/pprof/. A nil matcher serves pprof only. No-op when addr is
+// empty; the server dies with the process.
+func serveMetrics(addr string, m *graphkeys.Matcher) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	if m != nil {
+		mux.Handle("/", m.MetricsHandler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("emrun: metrics server: %v", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "emrun: serving metrics on %s\n", addr)
 }
 
 func printResult(res *graphkeys.Result, classes bool) {
@@ -232,13 +272,14 @@ func openDurable(dir string, loadGraph func() *graphkeys.Graph, ks *graphkeys.Ke
 // runReplay reconstructs a matcher from the WAL directory alone and
 // prints its pairs; with a reference graph file it also verifies the
 // reconstruction byte for byte.
-func runReplay(dir, graphPath string, ks *graphkeys.KeySet, opts graphkeys.Options, classes bool) {
+func runReplay(dir, graphPath string, ks *graphkeys.KeySet, opts graphkeys.Options, classes bool, metricsAddr string) {
 	start := time.Now()
 	m, err := graphkeys.OpenMatcher(dir, ks, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer m.Close()
+	serveMetrics(metricsAddr, m)
 	fmt.Fprintf(os.Stderr, "emrun: replayed %s: %d triples, %d pairs in %v\n",
 		dir, m.Graph().NumTriples(), len(m.Result().Matches), time.Since(start).Round(time.Microsecond))
 	if graphPath != "" {

@@ -36,10 +36,32 @@ func (r *Result) Prove(e1, e2 graph.NodeID) (*Proof, error) {
 	if !r.Identified(e1, e2) {
 		return nil, fmt.Errorf("chase: (%d, %d) is not identified; no proof exists", e1, e2)
 	}
+	idxs, err := ProveIndices(r.Steps, target)
+	if err != nil {
+		return nil, err
+	}
+	proof := &Proof{Target: target}
+	for _, i := range idxs {
+		proof.Steps = append(proof.Steps, r.Steps[i])
+	}
+	return proof, nil
+}
+
+// ProveIndices extracts, from any valid chasing sequence, the indices
+// of the steps that form a witness chain for the target pair: a
+// topologically ordered (by index) subset in which every step's
+// Requires pairs are connected by earlier steps, ending in a step path
+// connecting the target. It errors when no step path connects the
+// pair — the sequence does not identify it. The incremental engine's
+// explain surface walks its live step log through here.
+func ProveIndices(steps []Step, target eqrel.Pair) ([]int, error) {
+	if target.A == target.B {
+		return nil, nil
+	}
 	// Step graph: chase steps are undirected edges between entities;
 	// a pair (u, v) in Eq is justified by any u–v path.
 	adj := make(map[int32][]int) // entity -> incident step indices
-	for i, st := range r.Steps {
+	for i, st := range steps {
 		adj[st.Pair.A] = append(adj[st.Pair.A], i)
 		adj[st.Pair.B] = append(adj[st.Pair.B], i)
 	}
@@ -49,7 +71,7 @@ func (r *Result) Prove(e1, e2 graph.NodeID) (*Proof, error) {
 		if p.A == p.B {
 			return nil
 		}
-		path, err := stepPath(adj, r.Steps, p)
+		path, err := stepPath(adj, steps, p)
 		if err != nil {
 			return err
 		}
@@ -58,7 +80,7 @@ func (r *Result) Prove(e1, e2 graph.NodeID) (*Proof, error) {
 				continue
 			}
 			needed[si] = true
-			for _, req := range r.Steps[si].Requires {
+			for _, req := range steps[si].Requires {
 				if err := justify(req); err != nil {
 					return err
 				}
@@ -76,11 +98,7 @@ func (r *Result) Prove(e1, e2 graph.NodeID) (*Proof, error) {
 	// Chase order is a valid topological order: a step's prerequisites
 	// were in Eq before it fired, hence justified by earlier steps.
 	sort.Ints(idxs)
-	proof := &Proof{Target: target}
-	for _, i := range idxs {
-		proof.Steps = append(proof.Steps, r.Steps[i])
-	}
-	return proof, nil
+	return idxs, nil
 }
 
 // stepPath finds a path of chase steps connecting p.A to p.B via BFS

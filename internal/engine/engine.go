@@ -46,7 +46,16 @@ func Parallel(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	ob := globalObs.Load()
+	if ob != nil && n > 0 {
+		ob.ParallelCalls.Inc()
+		ob.ParallelItems.Add(int64(n))
+	}
 	if workers < 2 || n < 2 {
+		if ob != nil && n > 0 {
+			ob.ActiveWorkers.Inc()
+			defer ob.ActiveWorkers.Dec()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -57,6 +66,10 @@ func Parallel(workers, n int, fn func(i int)) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if ob != nil {
+				ob.ActiveWorkers.Inc()
+				defer ob.ActiveWorkers.Dec()
+			}
 			for i := w; i < n; i += workers {
 				fn(i)
 			}

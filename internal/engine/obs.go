@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"graphkeys/internal/obs"
+)
+
+// Obs is the substrate's instrument bundle. Parallel is a free
+// function called from every layer, so the hook is a package-global
+// atomic pointer rather than a parameter: uninstrumented processes
+// pay one atomic load per Parallel call.
+type Obs struct {
+	// ParallelCalls counts Parallel invocations; ParallelItems counts
+	// the items they fanned out (ParallelItems/ParallelCalls is the
+	// mean fan-out).
+	ParallelCalls *obs.Counter
+	ParallelItems *obs.Counter
+	// ActiveWorkers tracks the worker goroutines currently running —
+	// a live utilization gauge for the whole process.
+	ActiveWorkers *obs.Gauge
+}
+
+var globalObs atomic.Pointer[Obs]
+
+// SetObs installs (or, with nil, removes) the process-wide substrate
+// instruments.
+func SetObs(o *Obs) {
+	globalObs.Store(o)
+}
+
+// RegisterObs builds an Obs wired to conventionally named instruments
+// of the registry and installs it. A nil registry installs nothing.
+func RegisterObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	SetObs(&Obs{
+		ParallelCalls: r.Counter("engine.parallel_calls", "Parallel invocations"),
+		ParallelItems: r.Counter("engine.parallel_items", "items fanned out by Parallel"),
+		ActiveWorkers: r.Gauge("engine.active_workers", "worker goroutines currently running"),
+	})
+}

@@ -112,6 +112,10 @@ type Graph struct {
 
 	nNodes atomic.Int32
 	nTrip  atomic.Int64
+
+	// ob is the optional instrument bundle (see obs.go). Loaded once
+	// per delta / shard execution; nil means uninstrumented.
+	ob atomic.Pointer[Obs]
 }
 
 // New returns an empty graph.

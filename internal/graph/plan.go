@@ -276,8 +276,12 @@ func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
 // keep planning and buffering their own records meanwhile, and one
 // group fsync covers them all.
 func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
+	ob := g.ob.Load()
+	tAdmit := ob.admissionWait().Start()
 	g.pl.mu.Lock()
 	admitted := g.admit(func() uint32 { return g.deltaMask(d) })
+	ob.admissionWait().ObserveSince(tAdmit)
+	tHold := ob.planHold().Start()
 	if err := g.validateDelta(d); err != nil {
 		g.pl.mu.Unlock()
 		return nil, err
@@ -285,6 +289,7 @@ func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 	p := g.planDelta(d)
 	if len(p.norm) == 0 {
 		g.pl.mu.Unlock()
+		ob.noopDeltas().Inc()
 		return &p.result, nil
 	}
 	var commit DeltaCommit
@@ -302,8 +307,10 @@ func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 		g.lowerPlanned(p)
 		tok := g.registerFlight(p.mask)
 		g.pl.mu.Unlock()
+		ob.planHold().ObserveSince(tHold)
 		g.executePlanned(p)
 		g.completeFlight(tok)
+		ob.deltas().Inc()
 		return &p.result, nil
 	}
 	// Group-commit path. The flight must cover lowering as well as
@@ -315,6 +322,7 @@ func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 	g.pl.pendingAlloc += alloc
 	tok := g.registerFlight(admitted)
 	g.pl.mu.Unlock()
+	ob.planHold().ObserveSince(tHold)
 
 	cerr := commit()
 
@@ -335,6 +343,7 @@ func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 	}
 	g.executePlanned(p)
 	g.completeFlight(tok)
+	ob.deltas().Inc()
 	return &p.result, nil
 }
 
@@ -782,7 +791,7 @@ func (g *Graph) executePlanned(p *planned) {
 		shards = append(shards, si)
 	}
 	engine.Parallel(engine.Workers(0), len(shards), func(i int) {
-		g.applyShardOps(&g.shards[shards[i]], p.perShard[shards[i]])
+		g.applyShardOps(shards[i], p.perShard[shards[i]])
 	})
 	g.nTrip.Add(p.tripDelta)
 }
@@ -790,8 +799,13 @@ func (g *Graph) executePlanned(p *planned) {
 // applyShardOps runs one shard's micro-ops under its write lock. Every
 // slice mutation keeps the handed-out-snapshot contract: removals copy
 // (removeOne / postRemove), insertions append or copy (postInsert).
-func (g *Graph) applyShardOps(sh *shard, ops []shardOp) {
+func (g *Graph) applyShardOps(si int, ops []shardOp) {
+	sh := &g.shards[si]
+	ob := g.ob.Load()
+	tLock := ob.shardLockWait().Start()
 	sh.mu.Lock()
+	ob.shardLockWait().ObserveSince(tLock)
+	ob.shardMutations().At(si).Add(int64(len(ops)))
 	defer sh.mu.Unlock()
 	for _, op := range ops {
 		switch op.kind {
@@ -809,6 +823,7 @@ func (g *Graph) applyShardOps(sh *shard, ops []shardOp) {
 			sh.in[localIndex(op.n)] = removeOne(sh.in[localIndex(op.n)], op.e)
 		case sPostAdd:
 			postInsert(sh, op.pk.p, op.pk.v, op.n)
+			ob.postingLen().Observe(int64(len(sh.post[op.pk])))
 		case sPostDel:
 			postRemove(sh, op.pk.p, op.pk.v, op.n)
 		case sDead:

@@ -35,7 +35,9 @@ package inc
 
 import (
 	"errors"
+	"fmt"
 	"sort"
+	"strconv"
 
 	"graphkeys/internal/chase"
 	"graphkeys/internal/engine"
@@ -43,6 +45,7 @@ import (
 	"graphkeys/internal/graph"
 	"graphkeys/internal/keys"
 	"graphkeys/internal/match"
+	"graphkeys/internal/obs"
 )
 
 // Options configures an Engine.
@@ -56,11 +59,29 @@ type Options struct {
 	// log, stats — is byte-identical at every worker count; the
 	// differential tests pin that, so parallelism is safe to leave on.
 	Parallelism int
+	// Obs, when non-nil, receives the repair pass's live counters and
+	// worklist-depth histogram (see RegisterObs). Trace, when non-nil,
+	// receives phase spans (invalidate, region, chase, per-component
+	// drains). Both are pure observers: enabling them cannot change
+	// what the engine computes — the differential tests pin output
+	// byte-identical with them on and off.
+	Obs   *Obs
+	Trace *obs.Tracer
 }
 
-// Stats reports the work done by the most recent Apply, for
-// experiments and tests asserting that repair stays local.
+// Stats reports the work done by the most recent maintenance pass,
+// for experiments and tests asserting that repair stays local. One
+// pass covers everything an Apply or ApplyAll call merged: ApplyAll
+// (and the Writer built on it) folds its whole batch of deltas into a
+// single pass, so after a batched call the Stats describe the batch
+// as a whole, not any single delta — Merged says how many deltas they
+// cover. The struct resets at the start of every Apply/ApplyAll call
+// (even one whose merged delta turns out empty and repairs nothing).
 type Stats struct {
+	// Merged is the number of deltas whose results merged into the
+	// pass (1 for Apply; the batch size for ApplyAll, not counting nil
+	// or failed deltas).
+	Merged int
 	// Suspects is the number of chase steps invalidated by removals
 	// (directly or by cascade along Requires).
 	Suspects int
@@ -94,6 +115,15 @@ type Engine struct {
 	depN      map[graph.NodeID]*graph.NodeSet // per-Apply memo of maxRadius-hop neighborhoods
 
 	stats Stats
+
+	// seq is the repair generation: 0 after New, incremented once per
+	// maintenance pass. stepSeqs records, parallel to steps, the
+	// generation each step was derived at (0 = the initial full
+	// chase); it lives beside the step log rather than inside
+	// chase.Step so the steps themselves stay comparable against a
+	// from-scratch chase. Explain reports it as the provenance "when".
+	seq      uint64
+	stepSeqs []uint64
 }
 
 // New computes the initial fixpoint with the sequential chase and
@@ -104,12 +134,13 @@ func New(g *graph.Graph, set *keys.Set, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		g:     g,
-		set:   set,
-		opts:  opts,
-		eq:    res.Eq,
-		steps: res.Steps,
-		pairs: res.Pairs,
+		g:        g,
+		set:      set,
+		opts:     opts,
+		eq:       res.Eq,
+		steps:    res.Steps,
+		pairs:    res.Pairs,
+		stepSeqs: make([]uint64, len(res.Steps)),
 	}
 	if err := e.rebuildMatcher(); err != nil {
 		return nil, err
@@ -131,8 +162,32 @@ func (e *Engine) Pairs() []eqrel.Pair { return e.pairs }
 // order. The slice is owned by the engine.
 func (e *Engine) Steps() []chase.Step { return e.steps }
 
-// LastStats reports the work done by the most recent Apply.
+// LastStats reports the work done by the most recent maintenance pass
+// (see Stats for the batch semantics and the reset point).
 func (e *Engine) LastStats() Stats { return e.stats }
+
+// Seq reports the current repair generation: 0 after New, incremented
+// once per maintenance pass.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// StepSeqs returns, parallel to Steps, the repair generation each
+// step was derived at (0 = the initial full chase). The slice is
+// owned by the engine.
+func (e *Engine) StepSeqs() []uint64 { return e.stepSeqs }
+
+// Explain returns the indices (into Steps) of the chase steps forming
+// a witness chain for a ~ b: a topologically ordered subset whose
+// Requires pairs are connected by earlier listed steps, ending in a
+// step path connecting a and b. It errors when the current fixpoint
+// does not identify the pair. An identical pair explains as an empty
+// chain.
+func (e *Engine) Explain(a, b graph.NodeID) ([]int, error) {
+	target := eqrel.MakePair(int32(a), int32(b))
+	if target.A != target.B && !e.eq.Same(target.A, target.B) {
+		return nil, fmt.Errorf("inc: (%d, %d) is not identified; no witness chain exists", a, b)
+	}
+	return chase.ProveIndices(e.steps, target)
+}
 
 // SetLog installs the write-ahead hook handed to the graph on every
 // subsequent Apply: it receives each delta's normalized ops before any
@@ -205,17 +260,20 @@ func (e *Engine) ApplyAll(ds []*graph.Delta, workers int) (added, removed []eqre
 		engine.Parallel(engine.Workers(workers), len(ds), apply)
 	}
 	res := &graph.DeltaResult{}
+	merged := 0
 	for i, r := range results {
 		if errs[i] != nil || r == nil {
 			continue
 		}
+		merged++
 		res.AddedEntities = append(res.AddedEntities, r.AddedEntities...)
 		res.AddedTriples = append(res.AddedTriples, r.AddedTriples...)
 		res.RemovedTriples = append(res.RemovedTriples, r.RemovedTriples...)
 		res.RemovedEntities = append(res.RemovedEntities, r.RemovedEntities...)
 	}
 	err = errors.Join(errs...)
-	e.stats = Stats{}
+	e.stats = Stats{Merged: merged}
+	e.opts.Obs.merged().Add(int64(merged))
 	if res.Empty() {
 		return nil, nil, err
 	}
@@ -239,6 +297,10 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 	if err := e.rebuildMatcher(); err != nil {
 		return nil, nil, err
 	}
+	e.seq++
+	e.opts.Obs.repairs().Inc()
+	spRepair := e.opts.Trace.Begin("inc.repair")
+	defer spRepair.End()
 	e.depN = make(map[graph.NodeID]*graph.NodeSet)
 	workers := engine.Workers(e.opts.Parallelism)
 
@@ -251,6 +313,7 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 	// only re-checking every pair of the affected class can recover it.
 	var suspects []eqrel.Pair
 	if len(res.RemovedTriples) > 0 {
+		spInv := e.opts.Trace.Begin("inc.repair.invalidate")
 		removedSet := make(map[graph.Triple]bool, len(res.RemovedTriples))
 		for _, tr := range res.RemovedTriples {
 			removedSet[tr] = true
@@ -270,6 +333,7 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 		taintedRoots := make(map[int32]bool)
 		eq := eqrel.New(e.g.NumNodes())
 		kept := make([]chase.Step, 0, len(e.steps))
+		keptSeqs := make([]uint64, 0, len(e.steps))
 		dropped := 0
 		for i, st := range e.steps {
 			if usesRemoved[i] || !requiresHold(eq, st.Requires) {
@@ -279,9 +343,11 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 			}
 			eq.Union(st.Pair.A, st.Pair.B)
 			kept = append(kept, st)
+			keptSeqs = append(keptSeqs, e.stepSeqs[i])
 		}
 		e.eq = eq
 		e.steps = kept
+		e.stepSeqs = keptSeqs
 		// Suspect order must not depend on map iteration: the seeds
 		// feed the re-chase whose step log the differential tests pin.
 		roots := make([]int32, 0, len(taintedRoots))
@@ -298,6 +364,8 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 			}
 		}
 		e.stats.Suspects = dropped
+		e.opts.Obs.suspects().Add(int64(dropped))
+		spInv.EndLabel(strconv.Itoa(dropped) + " dropped")
 	} else {
 		e.eq.Grow(e.g.NumNodes())
 	}
@@ -311,8 +379,10 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 	// worklist expansion in the chase phase).
 	seeds := suspects
 	if len(res.AddedTriples) > 0 || len(res.AddedEntities) > 0 {
+		spRegion := e.opts.Trace.Begin("inc.repair.region")
 		region := e.affectedEntities(res, workers)
 		e.stats.Region = len(region)
+		e.opts.Obs.region().Add(int64(len(region)))
 		partners := make([][]graph.NodeID, len(region))
 		engine.Parallel(workers, len(region), func(i int) {
 			partners[i] = e.m.ValuePartners(region[i])
@@ -322,9 +392,12 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 				seeds = append(seeds, eqrel.MakePair(int32(p), int32(q)))
 			}
 		}
+		spRegion.EndLabel(strconv.Itoa(len(region)) + " entities")
 	}
 
+	spChase := e.opts.Trace.Begin("inc.repair.chase")
 	e.chaseSeeds(seeds, workers)
+	spChase.EndLabel(strconv.Itoa(len(seeds)) + " seeds")
 
 	newPairs := e.eq.Pairs(e.m.KeyedEntities())
 	added, removed = diffPairs(e.pairs, newPairs)
@@ -485,7 +558,11 @@ func (e *Engine) chaseComponents(seeds []eqrel.Pair, workers int) {
 		checked, identified int
 	}
 	results := make([]compResult, len(comps))
+	ob, tr := e.opts.Obs, e.opts.Trace
+	ob.components().Add(int64(len(comps)))
+	ob.worklistDepth().Observe(int64(len(seeds)))
 	engine.Parallel(workers, len(comps), func(ci int) {
+		sp := tr.Begin("inc.chase.component")
 		wl := engine.NewWorklist[eqrel.Pair]()
 		for _, s := range comps[ci] {
 			wl.Push(s)
@@ -501,16 +578,22 @@ func (e *Engine) chaseComponents(seeds []eqrel.Pair, workers int) {
 			}
 			got, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B), e.eq)
 			res.checked++
+			ob.checked().Inc()
 			if !got {
 				continue
 			}
 			e.eq.Union(pr.A, pr.B)
 			res.steps = append(res.steps, chase.Step{Pair: pr, Key: key, Requires: reqs, Uses: uses})
 			res.identified++
+			ob.identified().Inc()
 		}
+		sp.EndLabel("c" + strconv.Itoa(ci))
 	})
 	for i := range results {
 		e.steps = append(e.steps, results[i].steps...)
+		for range results[i].steps {
+			e.stepSeqs = append(e.stepSeqs, e.seq)
+		}
 		e.stats.Checked += results[i].checked
 		e.stats.Identified += results[i].identified
 	}
@@ -561,11 +644,14 @@ func (e *Engine) chaseRounds(seeds []eqrel.Pair, workers int) {
 	if n := e.eq.Len() / snapshotAmortize; n > cutoff {
 		cutoff = n
 	}
+	ob := e.opts.Obs
 	for wl.Len() > 0 {
 		if wl.Len() < cutoff {
 			e.drainSequential(wl, members)
 			return
 		}
+		ob.rounds().Inc()
+		ob.worklistDepth().Observe(int64(wl.Len()))
 		active := wl.Drain()
 		snap := e.eq.Clone().Reader()
 		verdicts := make([]verdict, len(active))
@@ -580,6 +666,7 @@ func (e *Engine) chaseRounds(seeds []eqrel.Pair, workers int) {
 		for i, v := range verdicts {
 			if v.checked {
 				e.stats.Checked++
+				ob.checked().Inc()
 			}
 			if !v.ok {
 				continue
@@ -600,7 +687,9 @@ func (e *Engine) chaseRounds(seeds []eqrel.Pair, workers int) {
 
 			e.eq.Union(pr.A, pr.B)
 			e.steps = append(e.steps, chase.Step{Pair: pr, Key: v.key, Requires: v.reqs, Uses: v.uses})
+			e.stepSeqs = append(e.stepSeqs, e.seq)
 			e.stats.Identified++
+			ob.identified().Inc()
 			nr := e.eq.Find(pr.A)
 			members[nr] = append(mem1, mem2...)
 			if ra != nr {
@@ -622,6 +711,8 @@ func (e *Engine) chaseRounds(seeds []eqrel.Pair, workers int) {
 // against the live relation, merge, push dependents, repeat until
 // empty. chaseRounds hands the trickling tail of a repair to it.
 func (e *Engine) drainSequential(wl *engine.Worklist[eqrel.Pair], members map[int32][]int32) {
+	ob := e.opts.Obs
+	ob.worklistDepth().Observe(int64(wl.Len()))
 	for {
 		pr, ok := wl.Pop()
 		if !ok {
@@ -632,6 +723,7 @@ func (e *Engine) drainSequential(wl *engine.Worklist[eqrel.Pair], members map[in
 		}
 		got, key, reqs, uses := e.identify(graph.NodeID(pr.A), graph.NodeID(pr.B), e.eq)
 		e.stats.Checked++
+		ob.checked().Inc()
 		if !got {
 			continue
 		}
@@ -642,7 +734,9 @@ func (e *Engine) drainSequential(wl *engine.Worklist[eqrel.Pair], members map[in
 
 		e.eq.Union(pr.A, pr.B)
 		e.steps = append(e.steps, chase.Step{Pair: pr, Key: key, Requires: reqs, Uses: uses})
+		e.stepSeqs = append(e.stepSeqs, e.seq)
 		e.stats.Identified++
+		ob.identified().Inc()
 		nr := e.eq.Find(pr.A)
 		members[nr] = append(mem1, mem2...)
 		if ra != nr {

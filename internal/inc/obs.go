@@ -1,0 +1,110 @@
+package inc
+
+import "graphkeys/internal/obs"
+
+// Obs is the repair pass's instrument bundle: the Stats fields as
+// live counters (ticking while a pass runs, where Stats only appears
+// after it), plus the shape of the chase phase. Every handle may be
+// nil (they no-op); an engine with Options.Obs == nil pays nothing.
+type Obs struct {
+	// Suspects, Region, Checked and Identified mirror the Stats fields
+	// cumulatively across all passes.
+	Suspects   *obs.Counter
+	Region     *obs.Counter
+	Checked    *obs.Counter
+	Identified *obs.Counter
+	// Merged counts deltas merged into maintenance passes; Repairs
+	// counts the passes themselves (Merged/Repairs is the coalescing
+	// the batched write path achieved).
+	Merged  *obs.Counter
+	Repairs *obs.Counter
+	// Rounds counts BSP rounds run under recursive keys; Components
+	// counts independently drained seed components without them.
+	Rounds     *obs.Counter
+	Components *obs.Counter
+	// WorklistDepth observes the worklist length at the start of each
+	// BSP round and sequential drain — the cascade's width over time.
+	WorklistDepth *obs.Histogram
+}
+
+func (o *Obs) suspects() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Suspects
+}
+
+func (o *Obs) region() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Region
+}
+
+func (o *Obs) checked() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Checked
+}
+
+func (o *Obs) identified() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Identified
+}
+
+func (o *Obs) merged() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Merged
+}
+
+func (o *Obs) repairs() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Repairs
+}
+
+func (o *Obs) rounds() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Rounds
+}
+
+func (o *Obs) components() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Components
+}
+
+func (o *Obs) worklistDepth() *obs.Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.WorklistDepth
+}
+
+// RegisterObs builds an Obs wired to conventionally named instruments
+// of the registry (nil registry, nil Obs) — hand it to Options.Obs.
+func RegisterObs(r *obs.Registry) *Obs {
+	if r == nil {
+		return nil
+	}
+	return &Obs{
+		Suspects:      r.Counter("inc.suspects", "chase steps invalidated by removals"),
+		Region:        r.Counter("inc.region", "entities in affected regions"),
+		Checked:       r.Counter("inc.checked", "candidate-pair checks run"),
+		Identified:    r.Counter("inc.identified", "chase steps (re-)derived"),
+		Merged:        r.Counter("inc.merged", "deltas merged into maintenance passes"),
+		Repairs:       r.Counter("inc.repairs", "maintenance passes run"),
+		Rounds:        r.Counter("inc.rounds", "BSP rounds under recursive keys"),
+		Components:    r.Counter("inc.components", "seed components drained independently"),
+		WorklistDepth: r.Histogram("inc.worklist_depth", "worklist length per round/drain", obs.SizeBuckets()),
+	}
+}

@@ -23,7 +23,7 @@ type repairRun struct {
 	stats     []Stats
 }
 
-func runRepairSequence(t *testing.T, gen *testutil.Generator, parallelism, rounds int) repairRun {
+func runRepairSequence(t *testing.T, gen *testutil.Generator, opts Options, rounds int) repairRun {
 	t.Helper()
 	g := graph.New()
 	if _, err := g.ApplyDelta(gen.Seed()); err != nil {
@@ -33,14 +33,14 @@ func runRepairSequence(t *testing.T, gen *testutil.Generator, parallelism, round
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(g, set, Options{Parallelism: parallelism})
+	e, err := New(g, set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var stats []Stats
 	for round := 0; round < rounds; round++ {
 		if _, _, err := e.ApplyAll(gen.Round(round), 1); err != nil {
-			t.Fatalf("p=%d round %d: %v", parallelism, round, err)
+			t.Fatalf("p=%d round %d: %v", opts.Parallelism, round, err)
 		}
 		stats = append(stats, e.LastStats())
 	}
@@ -55,7 +55,7 @@ func runRepairSequence(t *testing.T, gen *testutil.Generator, parallelism, round
 		t.Fatal(err)
 	}
 	if !pairsEqual(e.Pairs(), full.Pairs) {
-		t.Fatalf("p=%d: incremental pairs diverge from full re-chase", parallelism)
+		t.Fatalf("p=%d: incremental pairs diverge from full re-chase", opts.Parallelism)
 	}
 	return repairRun{
 		graphText: sb.String(),
@@ -122,9 +122,9 @@ func TestParallelRepairByteIdentical(t *testing.T) {
 	for _, tc := range configs {
 		t.Run(tc.name, func(t *testing.T) {
 			gen := testutil.New(tc.cfg)
-			ref := runRepairSequence(t, gen, 1, rounds)
+			ref := runRepairSequence(t, gen, Options{Parallelism: 1}, rounds)
 			for _, p := range []int{2, 4, 8} {
-				got := runRepairSequence(t, gen, p, rounds)
+				got := runRepairSequence(t, gen, Options{Parallelism: p}, rounds)
 				if got.graphText != ref.graphText {
 					t.Fatalf("p=%d: graph text diverges from sequential", p)
 				}

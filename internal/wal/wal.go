@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"graphkeys/internal/graph"
 )
@@ -114,6 +115,12 @@ type Store struct {
 	durable    uint64
 	failed     map[uint64]error
 	broken     error
+	// maxGroup caps how many records one flush takes (see
+	// SetGroupLimit); <= 0 means unbounded.
+	maxGroup int
+
+	// ob is the optional instrument bundle (see obs.go).
+	ob atomic.Pointer[Obs]
 
 	snapSeq   uint64
 	snapGraph *graph.Graph
@@ -135,7 +142,7 @@ func Open(dir string, policy SyncPolicy) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, policy: policy, lock: lock, failed: make(map[uint64]error)}
+	s := &Store{dir: dir, policy: policy, lock: lock, failed: make(map[uint64]error), maxGroup: DefaultGroupLimit}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.loadSnapshot(); err != nil {
 		unlockDir(lock)
@@ -224,6 +231,24 @@ func (s *Store) Begin(ops []graph.DeltaOp) (uint64, func() error, error) {
 	return seq, func() error { return s.commitWait(seq) }, nil
 }
 
+// DefaultGroupLimit is the group-commit cap a fresh Store starts
+// with: one flush takes at most this many records, so a sustained
+// burst of writers amortizes its fsyncs without any single group —
+// and therefore any single commit's wait, or any single rewind on a
+// failed flush — growing unboundedly. Committers whose records are
+// left behind lead (or join) the next flush immediately; no waiting
+// is introduced, only the chunk is bounded.
+const DefaultGroupLimit = 256
+
+// SetGroupLimit caps how many records one group flush writes as one
+// chunk (n <= 0 removes the cap). Records past the cap stay buffered,
+// in order, for the immediately following flush.
+func (s *Store) SetGroupLimit(n int) {
+	s.mu.Lock()
+	s.maxGroup = n
+	s.mu.Unlock()
+}
+
 // commitWait blocks until seq's group flush resolves, leading the
 // flush itself when no other committer is.
 func (s *Store) commitWait(seq uint64) error {
@@ -251,17 +276,26 @@ func (s *Store) commitWait(seq uint64) error {
 	}
 }
 
-// flushGroupLocked writes every pending record as one chunk and syncs
-// once per policy. Caller holds s.mu; the lock is released during the
-// file I/O so new Begins keep buffering the next group, and reacquired
-// to publish the outcome. On return the flush (if any) has fully
-// resolved and s.committing is false again.
+// flushGroupLocked writes the pending records — at most maxGroup of
+// them; any excess stays buffered, in order, for the flush that
+// immediately follows — as one chunk and syncs once per policy.
+// Caller holds s.mu; the lock is released during the file I/O so new
+// Begins keep buffering the next group, and reacquired to publish the
+// outcome. On return the flush (if any) has fully resolved and
+// s.committing is false again.
 func (s *Store) flushGroupLocked() {
 	if len(s.pending) == 0 {
 		return
 	}
 	group := s.pending
-	s.pending = nil
+	if s.maxGroup > 0 && len(group) > s.maxGroup {
+		// Splitting the slice is safe: later Begins append past the
+		// remainder's length, never into the flushed prefix.
+		group = group[:s.maxGroup]
+		s.pending = s.pending[s.maxGroup:]
+	} else {
+		s.pending = nil
+	}
 	s.committing = true
 	n := 0
 	for _, pr := range group {
@@ -272,21 +306,27 @@ func (s *Store) flushGroupLocked() {
 		chunk = append(chunk, pr.rec...)
 	}
 	f := s.f
+	ob := s.ob.Load()
 	s.mu.Unlock()
+	ob.groupSize().Observe(int64(len(group)))
 	var ferr error
 	if _, err := f.Write(chunk); err != nil {
 		ferr = fmt.Errorf("wal: append: %v", err)
 	} else if s.policy == SyncAlways {
+		tSync := ob.fsyncNanos().Start()
 		if err := f.Sync(); err != nil {
 			ferr = fmt.Errorf("wal: fsync: %v", err)
 		}
+		ob.fsyncNanos().ObserveSince(tSync)
 	}
 	s.mu.Lock()
 	s.committing = false
 	if ferr == nil {
 		s.off += int64(len(chunk))
 		s.durable = group[len(group)-1].seq
+		ob.records().Add(int64(len(group)))
 	} else {
+		ob.rewinds().Inc()
 		// The whole group fails: rewind the file to the group start so
 		// no partial record poisons the prefix, and route the error to
 		// every waiter of the group. Later groups (already buffering in

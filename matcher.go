@@ -10,6 +10,7 @@ import (
 	"graphkeys/internal/graph"
 	"graphkeys/internal/inc"
 	"graphkeys/internal/match"
+	"graphkeys/internal/obs"
 	"graphkeys/internal/wal"
 )
 
@@ -98,6 +99,15 @@ type Matcher struct {
 	eng     *inc.Engine
 	workers int
 	store   *wal.Store // non-nil for durable matchers (OpenMatcher)
+
+	// Observability (see observe.go): every Matcher carries its own
+	// registry and tracer, snapshotted by Metrics and served by
+	// MetricsHandler.
+	reg         *obs.Registry
+	trace       *obs.Tracer
+	obApply     *obs.Histogram
+	obBatch     *obs.Histogram
+	obBatchSize *obs.Histogram
 }
 
 // NewMatcher computes chase(G, Σ) with the sequential chase and
@@ -108,14 +118,19 @@ func NewMatcher(g *Graph, ks *KeySet, opts Options) (*Matcher, error) {
 	if g == nil || ks == nil {
 		return nil, fmt.Errorf("graphkeys: NewMatcher requires a graph and a key set")
 	}
+	m := &Matcher{g: g, workers: opts.Workers}
+	m.registerObs()
 	eng, err := inc.New(g.g, ks.set, inc.Options{
 		Match:       match.Options{ValueEq: opts.ValueEq, Workers: opts.Workers},
 		Parallelism: opts.parallelism(),
+		Obs:         inc.RegisterObs(m.reg),
+		Trace:       m.trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Matcher{g: g, eng: eng, workers: opts.Workers}, nil
+	m.eng = eng
+	return m, nil
 }
 
 // Apply mutates the graph by the delta and repairs the fixpoint,
@@ -128,7 +143,9 @@ func (m *Matcher) Apply(d *Delta) (added, removed []Pair, err error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	t0 := m.obApply.Start()
 	addedPairs, removedPairs, err := m.eng.Apply(&d.d)
+	m.obApply.ObserveSince(t0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -158,7 +175,10 @@ func (m *Matcher) ApplyBatch(ds []*Delta) (added, removed []Pair, err error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.obBatchSize.Observe(int64(len(ds)))
+	t0 := m.obBatch.Start()
 	addedPairs, removedPairs, err := m.eng.ApplyAll(gds, engine.Workers(m.workers))
+	m.obBatch.ObserveSince(t0)
 	return m.toMatches(addedPairs), m.toMatches(removedPairs), err
 }
 
@@ -195,10 +215,20 @@ func (m *Matcher) Same(a, b EntityID) bool {
 // Graph returns the maintained graph. Mutate it only through Apply.
 func (m *Matcher) Graph() *Graph { return m.g }
 
-// Stats reports the repair work done by the most recent Apply.
+// Stats reports the repair work of one maintenance pass (see
+// LastStats for what one pass covers).
 type Stats = inc.Stats
 
-// LastStats reports the repair work done by the most recent Apply.
+// LastStats reports the repair work of the most recent maintenance
+// pass. One pass covers one Apply OR one whole ApplyBatch: batched
+// deltas (including everything a Writer coalesced into one batch)
+// merge into a single pass, so after a batched call the Stats
+// describe the batch as a whole, never a single delta —
+// Stats.Merged reports how many deltas the pass covered. The counters
+// reset at the start of every Apply/ApplyBatch, including calls whose
+// merged delta coalesces to a no-op (those report zero work with the
+// Merged count of the attempt). For cumulative counters that survive
+// across passes, use Metrics.
 func (m *Matcher) LastStats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -279,6 +309,7 @@ func OpenMatcher(dir string, ks *KeySet, opts Options) (*Matcher, error) {
 		store.Close()
 		return nil, err
 	}
+	store.RegisterObs(m.reg)
 	if want := store.SnapshotPairs(); want != nil {
 		if got := m.pairLabels(); !samePairLabels(got, want) {
 			store.Close()

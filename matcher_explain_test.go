@@ -1,0 +1,183 @@
+package graphkeys_test
+
+import (
+	"fmt"
+	"testing"
+
+	"graphkeys"
+)
+
+// tripleKey flattens a triple for set membership.
+func tripleKey(s, p, o string, isVal bool) string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%v", s, p, o, isVal)
+}
+
+// verifyExplanation replays the witness chain against the live graph:
+// every step's Requires must already be connected by earlier steps,
+// every Uses triple must exist in the graph right now (the chain
+// explains the current state, not a stale one), and the replayed
+// relation must connect the explained pair.
+func verifyExplanation(t *testing.T, g *graphkeys.Graph, ex *graphkeys.Explanation) {
+	t.Helper()
+	triples := map[string]bool{}
+	g.EachTriple(func(s, p, o string, isVal bool) {
+		triples[tripleKey(s, p, o, isVal)] = true
+	})
+
+	parent := map[graphkeys.EntityID]graphkeys.EntityID{}
+	var find func(x graphkeys.EntityID) graphkeys.EntityID
+	find = func(x graphkeys.EntityID) graphkeys.EntityID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	same := func(a, b graphkeys.EntityID) bool { return a == b || find(a) == find(b) }
+	union := func(a, b graphkeys.EntityID) { parent[find(a)] = find(b) }
+
+	for i, st := range ex.Steps {
+		if st.Key == "" {
+			t.Fatalf("step %d (%s, %s): empty key name", i, st.A, st.B)
+		}
+		for _, r := range st.Requires {
+			if !same(r.A, r.B) {
+				t.Fatalf("step %d (%s, %s): requires (%s, %s) not established by earlier steps",
+					i, st.A, st.B, r.A, r.B)
+			}
+		}
+		for _, u := range st.Uses {
+			if !triples[tripleKey(u.Subject, u.Predicate, u.Object, u.ObjectIsValue)] {
+				t.Fatalf("step %d (%s, %s): uses triple (%s, %s, %s) absent from the graph",
+					i, st.A, st.B, u.Subject, u.Predicate, u.Object)
+			}
+		}
+		union(st.A, st.B)
+	}
+	if ex.A != ex.B && !same(ex.A, ex.B) {
+		t.Fatalf("witness chain does not connect (%s, %s)", ex.A, ex.B)
+	}
+}
+
+func TestMatcherExplainValueKey(t *testing.T) {
+	g := musicGraph(t)
+	m, err := graphkeys.NewMatcher(g, musicKeys(t), graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.Explain("alb1", "alb2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Steps) == 0 {
+		t.Fatal("empty witness chain for an identified pair")
+	}
+	verifyExplanation(t, g, ex)
+	// The chain must bottom out in a value-only derivation: at least
+	// one step with no prior identifications required.
+	base := false
+	for _, st := range ex.Steps {
+		if len(st.Requires) == 0 {
+			base = true
+		}
+		if st.Seq != 0 {
+			t.Fatalf("step (%s, %s) has Seq %d before any maintenance pass", st.A, st.B, st.Seq)
+		}
+		if len(st.Uses) == 0 {
+			t.Fatalf("step (%s, %s) consumed no triples", st.A, st.B)
+		}
+	}
+	if !base {
+		t.Fatal("no base (value-only) step in the chain")
+	}
+	if got := ex.Target(); got != (graphkeys.Pair{A: "alb1", B: "alb2"}) {
+		t.Fatalf("Target() = %v", got)
+	}
+}
+
+// TestMatcherExplainRecursiveKey explains a pair whose key fired
+// through prior identifications: art1 ~ art2 holds by Q3, which binds
+// an album variable — so the chain must carry a step with non-empty
+// Requires, connected by the album steps before it.
+func TestMatcherExplainRecursiveKey(t *testing.T) {
+	g := musicGraph(t)
+	m, err := graphkeys.NewMatcher(g, musicKeys(t), graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.Explain("art1", "art2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyExplanation(t, g, ex)
+	recursive := false
+	for _, st := range ex.Steps {
+		if len(st.Requires) > 0 {
+			recursive = true
+		}
+	}
+	if !recursive {
+		t.Fatal("artist chain has no step with Requires; expected a recursive-key derivation")
+	}
+}
+
+// TestMatcherExplainRederivedStep destroys a witness and restores it:
+// the re-derived steps must carry the maintenance-pass generation
+// (Seq > 0), distinguishing them from initial-chase leftovers, and the
+// chain must still verify against the repaired graph.
+func TestMatcherExplainRederivedStep(t *testing.T) {
+	g := musicGraph(t)
+	m, err := graphkeys.NewMatcher(g, musicKeys(t), graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply(graphkeys.NewDelta().
+		RemoveValueTriple("alb2", "release_year", "1996")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Explain("alb1", "alb2"); err == nil {
+		t.Fatal("Explain succeeded for a pair whose identification was removed")
+	}
+	if _, _, err := m.Apply(graphkeys.NewDelta().
+		AddValueTriple("alb2", "release_year", "1996")); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]graphkeys.EntityID{{"alb1", "alb2"}, {"art1", "art2"}} {
+		ex, err := m.Explain(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyExplanation(t, g, ex)
+		rederived := false
+		for _, st := range ex.Steps {
+			if st.Seq > 0 {
+				rederived = true
+			}
+		}
+		if !rederived {
+			t.Fatalf("(%s, %s): no step carries a maintenance-pass Seq after re-derivation", pair[0], pair[1])
+		}
+	}
+}
+
+func TestMatcherExplainErrorsAndIdentity(t *testing.T) {
+	m, err := graphkeys.NewMatcher(musicGraph(t), musicKeys(t), graphkeys.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Explain("alb1", "nope"); err == nil {
+		t.Fatal("unknown entity did not error")
+	}
+	if _, err := m.Explain("alb1", "alb3"); err == nil {
+		t.Fatal("unidentified pair did not error")
+	}
+	ex, err := m.Explain("alb1", "alb1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Steps) != 0 {
+		t.Fatalf("identity pair explained with %d steps, want 0", len(ex.Steps))
+	}
+}

@@ -3,6 +3,8 @@ package graphkeys
 import (
 	"fmt"
 	"sync"
+
+	"graphkeys/internal/obs"
 )
 
 // Writer is the asynchronous front of a Matcher's write path for
@@ -45,6 +47,15 @@ type Writer struct {
 	// batches counts completed batches, for observability and
 	// coalescing tests.
 	batches int
+
+	// Instruments from the matcher's registry (shared across the
+	// matcher's Writers): live queue depth, the enqueued/batch
+	// counters whose ratio is the coalescing achieved, and the batch
+	// size distribution.
+	obQueue     *obs.Gauge
+	obDeltas    *obs.Counter
+	obBatches   *obs.Counter
+	obBatchSize *obs.Histogram
 }
 
 // maxPending bounds the Writer queue: Apply blocks once this many
@@ -53,7 +64,13 @@ const maxPending = 1024
 
 // NewWriter starts a Writer over the matcher. Close it when done.
 func (m *Matcher) NewWriter() *Writer {
-	w := &Writer{m: m}
+	w := &Writer{
+		m:           m,
+		obQueue:     m.reg.Gauge("writer.queue_depth", "deltas waiting for the batcher"),
+		obDeltas:    m.reg.Counter("writer.deltas", "deltas enqueued"),
+		obBatches:   m.reg.Counter("writer.batches", "batches applied (deltas/batches = coalesce ratio)"),
+		obBatchSize: m.reg.Histogram("writer.batch_size", "deltas per coalesced batch", obs.SizeBuckets()),
+	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -79,6 +96,8 @@ func (w *Writer) Apply(d *Delta) error {
 	}
 	w.queue = append(w.queue, d)
 	w.enqueued++
+	w.obQueue.Inc()
+	w.obDeltas.Inc()
 	w.cond.Broadcast()
 	return nil
 }
@@ -134,6 +153,8 @@ func (w *Writer) loop() {
 		batch := w.queue
 		w.queue = nil
 		w.busy = true
+		w.obQueue.Add(-int64(len(batch)))
+		w.obBatchSize.Observe(int64(len(batch)))
 		// Wake producers blocked on the (now empty) queue so they
 		// refill it while this batch applies.
 		w.cond.Broadcast()
@@ -144,6 +165,7 @@ func (w *Writer) loop() {
 		w.mu.Lock()
 		w.busy = false
 		w.batches++
+		w.obBatches.Inc()
 		w.done += len(batch)
 		if err != nil && w.err == nil {
 			w.err = err
