@@ -1,0 +1,18 @@
+// Command emlint is the repo's invariant linter: custom static
+// analyzers for map-iteration determinism (maporder), the write
+// path's locking contracts (lockcontract), nil-safe observability
+// handles (obshandle), and write-ahead durability error handling
+// (walerr). See internal/lint and the "Static analysis" section of
+// the README.
+//
+// Run it through go vet:
+//
+//	go build -o /tmp/emlint ./cmd/emlint
+//	go vet -vettool=/tmp/emlint ./...
+//
+// or directly — `emlint ./...` re-executes itself via go vet.
+package main
+
+import "graphkeys/internal/lint"
+
+func main() { lint.Main() }

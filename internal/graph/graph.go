@@ -127,6 +127,7 @@ func New() *Graph {
 	g.dir.entByID = make(map[string]NodeID)
 	g.dir.valByLit = make(map[string]NodeID)
 	for i := range g.shards {
+		//emlint:ignore lockcontract constructor: the graph has not escaped, no reader or writer exists yet
 		g.shards[i].triples = make(map[tripleKey]struct{})
 		g.shards[i].post = make(map[postKey][]NodeID)
 	}

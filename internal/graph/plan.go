@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"graphkeys/internal/engine"
@@ -790,6 +791,10 @@ func (g *Graph) executePlanned(p *planned) {
 	for si := range p.perShard {
 		shards = append(shards, si)
 	}
+	// Disjoint shards make the final state order-independent, but a
+	// deterministic application order keeps traces and lock-wait
+	// profiles reproducible run to run.
+	sort.Ints(shards)
 	engine.Parallel(engine.Workers(0), len(shards), func(i int) {
 		g.applyShardOps(shards[i], p.perShard[shards[i]])
 	})

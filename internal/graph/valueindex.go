@@ -73,9 +73,10 @@ func (g *Graph) ValueSubjects(p PredID, v NodeID) []NodeID {
 }
 
 // EachValuePosting calls fn once per non-empty posting list, in
-// unspecified order. The subjects slice is owned by the graph. Each
-// shard's lists are collected under that shard's read lock and emitted
-// after it is released, so fn may call back into the graph.
+// ascending (predicate, value) order within each shard. The subjects
+// slice is owned by the graph. Each shard's lists are collected under
+// that shard's read lock and emitted after it is released, so fn may
+// call back into the graph.
 func (g *Graph) EachValuePosting(fn func(p PredID, v NodeID, subjects []NodeID)) {
 	type posting struct {
 		k  postKey
@@ -89,6 +90,12 @@ func (g *Graph) EachValuePosting(fn func(p PredID, v NodeID, subjects []NodeID))
 			batch = append(batch, posting{k, ps})
 		}
 		sh.mu.RUnlock()
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].k.p != batch[j].k.p {
+				return batch[i].k.p < batch[j].k.p
+			}
+			return batch[i].k.v < batch[j].k.v
+		})
 		for _, b := range batch {
 			fn(b.k.p, b.k.v, b.ps)
 		}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// A directive missing its reason (or its analyzer name) must not
+// suppress anything, and must itself surface as a finding — bare
+// ignores defeat the audit trail the reason requirement exists for.
+func TestMalformedDirectiveIsAFinding(t *testing.T) {
+	const src = `package p
+
+func f(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		//emlint:ignore maporder
+		out = append(out, k)
+	}
+	return out
+}
+`
+	findings := runOverSource(t, src)
+	var sawBare, sawMapOrder bool
+	for _, f := range findings {
+		switch f.analyzer {
+		case IgnoreName:
+			sawBare = true
+			if !strings.Contains(f.diag.Message, "reason") {
+				t.Errorf("bare-directive finding does not mention the missing reason: %s", f.diag.Message)
+			}
+		case "maporder":
+			sawMapOrder = true
+		}
+	}
+	if !sawBare {
+		t.Error("bare //emlint:ignore directive was not reported")
+	}
+	if !sawMapOrder {
+		t.Error("bare directive suppressed the maporder finding it was attached to")
+	}
+}
+
+// Findings in _test.go files are dropped: tests drop errors and build
+// maps on purpose.
+func TestTestFilesAreExempt(t *testing.T) {
+	const src = `package p
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := check(t, fset, f)
+	if len(findings) != 0 {
+		t.Errorf("findings reported in a _test.go file: %v", findings)
+	}
+}
+
+func runOverSource(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return check(t, fset, f)
+}
+
+func check(t *testing.T, fset *token.FileSet, f *ast.File) []finding {
+	t.Helper()
+	info := newTypesInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := runAnalyzers(All(), Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}

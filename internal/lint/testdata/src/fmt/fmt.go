@@ -1,0 +1,8 @@
+// Package fmt is a minimal stand-in for the standard library's fmt
+// package (matched by path and name; see the sort shim).
+package fmt
+
+func Sprintf(format string, a ...any) string { return format }
+func Sprint(a ...any) string                 { return "" }
+func Sprintln(a ...any) string               { return "" }
+func Errorf(format string, a ...any) error   { return nil }

@@ -1,0 +1,34 @@
+package ignorecase
+
+// Fixtures for the //emlint:ignore directive: a well-formed directive
+// (analyzer name plus reason) suppresses findings on its own line and
+// the line directly below; a directive naming a different analyzer
+// suppresses nothing. Malformed directives are covered by a unit test
+// (their diagnostic lands on the comment's own line, where a want
+// marker cannot sit).
+
+func suppressedSameLine(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) //emlint:ignore maporder callers treat the result as a set; order cannot escape
+	}
+	return out
+}
+
+func suppressedLineAbove(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		//emlint:ignore maporder callers treat the result as a set; order cannot escape
+		out = append(out, k)
+	}
+	return out
+}
+
+func wrongAnalyzerName(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		//emlint:ignore walerr a directive for another analyzer does not suppress this one
+		out = append(out, k) // want "map order is nondeterministic"
+	}
+	return out
+}

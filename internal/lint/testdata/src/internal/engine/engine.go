@@ -1,0 +1,7 @@
+// Package engine shims graphkeys/internal/engine for the fixtures:
+// the analyzers match engine.Parallel by path suffix and name.
+package engine
+
+func Workers(p int) int { return p }
+
+func Parallel(workers, n int, fn func(i int)) {}

@@ -1,0 +1,34 @@
+package graph
+
+import "sync"
+
+// Fixtures for the shard-lock rule of lockcontract: field access on a
+// shard-typed value must happen under the shard's own lock, or on a
+// *shard received as a parameter (the caller then holds the lock).
+
+type shard struct {
+	mu      sync.RWMutex
+	triples map[string]struct{}
+	post    map[string][]int32
+}
+
+type Store struct {
+	shards [4]shard
+}
+
+func (g *Store) unlockedRead(i int) int {
+	return len(g.shards[i].triples) // want "without taking the shard lock"
+}
+
+func (g *Store) lockedRead(i int) int {
+	sh := &g.shards[i]
+	sh.mu.RLock()
+	n := len(sh.triples)
+	sh.mu.RUnlock()
+	return n
+}
+
+// Helpers taking the *shard inherit the caller's lock.
+func postInsert(sh *shard, k string, v int32) {
+	sh.post[k] = append(sh.post[k], v)
+}

@@ -1,0 +1,83 @@
+package lockcontract
+
+import (
+	"sync"
+
+	"internal/engine"
+	"internal/graph"
+)
+
+// Fixtures for the blocking-call rule: nothing that can block — an
+// fsync, a commit wait, a WaitGroup wait, a parallel fan-out — may run
+// while the plan mutex is held.
+
+type planner struct {
+	mu sync.Mutex
+}
+
+type logFile struct{}
+
+func (f *logFile) Sync() error { return nil }
+
+type store struct {
+	pl planner
+	f  logFile
+	wg sync.WaitGroup
+}
+
+func (s *store) fsyncUnderLock() {
+	s.pl.mu.Lock()
+	s.f.Sync() // want "while the plan mutex is held"
+	s.pl.mu.Unlock()
+}
+
+func (s *store) fsyncAfterUnlock() error {
+	s.pl.mu.Lock()
+	s.pl.mu.Unlock()
+	return s.f.Sync()
+}
+
+func (s *store) parallelUnderLock(n int) {
+	s.pl.mu.Lock()
+	engine.Parallel(engine.Workers(0), n, func(i int) {}) // want "while the plan mutex is held"
+	s.pl.mu.Unlock()
+}
+
+func (s *store) waitUnderLock() {
+	s.pl.mu.Lock()
+	s.wg.Wait() // want "while the plan mutex is held"
+	s.pl.mu.Unlock()
+}
+
+func (s *store) commitUnderLock(commit graph.DeltaCommit) error {
+	s.pl.mu.Lock()
+	err := commit() // want "while the plan mutex is held"
+	s.pl.mu.Unlock()
+	return err
+}
+
+func (s *store) commitAfterUnlock(commit graph.DeltaCommit) error {
+	s.pl.mu.Lock()
+	s.pl.mu.Unlock()
+	return commit()
+}
+
+// A deferred unlock keeps the region open to the end of the function.
+func (s *store) deferredUnlock() error {
+	s.pl.mu.Lock()
+	defer s.pl.mu.Unlock()
+	return s.f.Sync() // want "while the plan mutex is held"
+}
+
+// Cond.Wait releases the mutex it guards — that is the admission
+// protocol itself, not a violation.
+type admission struct {
+	planMu sync.Mutex
+	cond   *sync.Cond
+}
+
+func (a *admission) admit() {
+	a.planMu.Lock()
+	a.cond.Wait()
+	a.planMu.Unlock()
+}

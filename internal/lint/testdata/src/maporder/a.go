@@ -1,0 +1,83 @@
+package maporder
+
+import (
+	"slices"
+	"sort"
+)
+
+// The PR 5 bug shape: incremental repair collected the tainted roots
+// of a dirty-node map and chased them in map-iteration order, so two
+// runs over the same delta produced differently-ordered step logs.
+func taintedRootsBug(dirty map[int64]bool) []int64 {
+	var roots []int64
+	for id := range dirty {
+		roots = append(roots, id) // want "map order is nondeterministic"
+	}
+	return roots
+}
+
+// The PR 5 fix: collect, then sort before use.
+func taintedRootsFixed(dirty map[int64]bool) []int64 {
+	roots := make([]int64, 0, len(dirty))
+	for id := range dirty {
+		roots = append(roots, id)
+	}
+	slices.Sort(roots)
+	return roots
+}
+
+// sort.* after the loop exempts too.
+func sortedStrings(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// A field of an outer struct is an ordered sink just like a local.
+type result struct{ steps []string }
+
+func fieldSink(m map[string]int, r *result) {
+	for k := range m {
+		r.steps = append(r.steps, k) // want "map order is nondeterministic"
+	}
+}
+
+// Appended values that do not depend on the loop variables accumulate
+// the same multiset in any order.
+func orderFree(m map[string]int) []int {
+	var ones []int
+	for _, v := range m {
+		if v > 0 {
+			ones = append(ones, 1)
+		}
+	}
+	return ones
+}
+
+// A per-key map sink absorbs the order: each iteration touches its
+// own entry.
+func groupByKey(pairs map[string]int, groups map[string][]int) {
+	for k, v := range pairs {
+		groups[k] = append(groups[k], v)
+	}
+}
+
+// Funneling every iteration into one fixed entry is ordered again.
+func funnel(m map[string]int, buckets [][]string) {
+	for k := range m {
+		buckets[0] = append(buckets[0], k) // want "map order is nondeterministic"
+	}
+}
+
+// A slice declared inside the loop body is per-iteration state.
+func perIteration(m map[string][]string, emit func([]string)) {
+	for k, vs := range m {
+		var line []string
+		line = append(line, k)
+		line = append(line, vs...)
+		emit(line)
+	}
+}

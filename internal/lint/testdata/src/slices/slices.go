@@ -1,0 +1,7 @@
+// Package slices is a minimal stand-in for the standard library's
+// slices package (matched by path and name; see the sort shim).
+package slices
+
+func Sort[E any](x []E)                                 {}
+func SortFunc[E any](x []E, cmp func(a, b E) int)       {}
+func SortStableFunc[E any](x []E, cmp func(a, b E) int) {}

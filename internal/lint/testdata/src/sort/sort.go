@@ -1,0 +1,11 @@
+// Package sort is a minimal stand-in for the standard library's sort
+// package. The analyzers match sort calls by package path and function
+// name only, so fixtures stay hermetic and fast by importing this shim
+// instead of pulling real standard-library sources through the
+// type-checker.
+package sort
+
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}
+func Ints(x []int)                                {}
+func Strings(x []string)                          {}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the driver: it speaks the (unpublished but stable)
+// command-line protocol `go vet -vettool` requires of an analysis
+// tool, the same one golang.org/x/tools/go/analysis/unitchecker
+// implements:
+//
+//	emlint -V=full       print a version line for build caching
+//	emlint -flags        print supported flags as JSON
+//	emlint foo.cfg       analyze the compilation unit foo.cfg describes
+//
+// The .cfg file is JSON written by cmd/go per package: source files,
+// the import map, and the export-data file of every dependency. Types
+// of imports are loaded from that export data via go/importer, so the
+// driver needs nothing beyond the standard library.
+//
+// Invoked any other way, emlint re-executes itself through
+// `go vet -vettool=<self>` with the given package patterns, which is
+// the supported local entry point: `emlint ./...`.
+
+// unitConfig mirrors the JSON config cmd/go writes for each vet
+// invocation (fields we do not use are omitted; unknown JSON fields
+// are ignored by encoding/json).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/emlint.
+func Main() {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s enforces this repo's determinism, locking and durability invariants.
+
+Usage:
+  %[1]s [packages]     run via "go vet -vettool" over the packages (default ./...)
+  %[1]s unit.cfg       analyze one compilation unit (invoked by go vet)
+
+Analyzers:
+`, progname)
+		for _, a := range All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0])
+		return
+	}
+
+	// Standalone mode: hand the package loading to go vet, which calls
+	// back into this binary once per compilation unit.
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own executable: %v", err)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// versionFlag implements the -V=full protocol: print a line the go
+// command can use as the tool's build ID (content-addressed by the
+// binary's own hash, so editing an analyzer invalidates vet's cache).
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel emlint buildID=%02x\n", exe, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags answers `emlint -flags`: go vet queries it to learn which
+// flags it may forward.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile
+// and exits: 0 when clean, 1 with findings on stderr otherwise.
+func runUnit(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// Facts-only invocations (dependency packages) have nothing to do:
+	// every emlint analyzer is purely intra-package. Touch the vetx
+	// output so cmd/go's bookkeeping finds a file.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	findings, err := analyzeUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	writeVetx(cfg)
+	if len(findings) == 0 {
+		os.Exit(0)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(f.diag.Pos), f.analyzer, f.diag.Message)
+	}
+	os.Exit(1)
+}
+
+func writeVetx(cfg *unitConfig) {
+	if cfg.VetxOutput != "" {
+		// Best-effort: an empty facts file keeps cmd/go's cache happy.
+		_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+}
+
+// analyzeUnit parses and type-checks the unit per the config and runs
+// the full suite over it.
+func analyzeUnit(fset *token.FileSet, cfg *unitConfig) ([]finding, error) {
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return base.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return runAnalyzers(All(), Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	})
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

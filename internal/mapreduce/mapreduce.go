@@ -13,6 +13,8 @@
 package mapreduce
 
 import (
+	"cmp"
+	"slices"
 	"sync"
 	"time"
 )
@@ -88,7 +90,12 @@ func (rt *Runtime) Rounds() int { return len(rt.stats) }
 // a shuffle grouping by key, then reduceFn per key on p workers.
 // Reducers for different keys run concurrently; emit callbacks are safe
 // to call from the task goroutine they were handed to.
-func Round[I any, K comparable, V any, O any](
+//
+// Keys are ordered (not merely comparable) because the shuffle sorts
+// them — as Hadoop's does — so key-to-reducer assignment and output
+// order are deterministic for a given set of map emissions rather
+// than inheriting Go's randomized map-iteration order.
+func Round[I any, K cmp.Ordered, V any, O any](
 	rt *Runtime,
 	inputs []I,
 	mapFn func(in I, emit func(K, V)),
@@ -146,6 +153,10 @@ func Round[I any, K comparable, V any, O any](
 	for k := range groups {
 		keys = append(keys, k)
 	}
+	// The sorted shuffle: without it, reducer assignment and the
+	// concatenated output order change run to run, and those leaked
+	// into the EMMR engine's union order downstream.
+	slices.Sort(keys)
 
 	// ---- Reduce phase ----
 	reduceStart := time.Now()

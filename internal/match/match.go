@@ -338,8 +338,16 @@ func New(g *graph.Graph, set *keys.Set, opts Options) (*Matcher, error) {
 		e graph.NodeID
 		d int
 	}
+	// Iterate types in sorted order so the job list — and with it the
+	// parallel work split — is identical run to run.
+	tids := make([]graph.TypeID, 0, len(m.dByType))
+	for tid := range m.dByType {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 	var jobs []job
-	for tid, d := range m.dByType {
+	for _, tid := range tids {
+		d := m.dByType[tid]
 		for _, e := range g.EntitiesOfType(tid) {
 			jobs = append(jobs, job{e, d})
 		}

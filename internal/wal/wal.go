@@ -350,7 +350,11 @@ func (s *Store) flushGroupLocked() {
 func (s *Store) breakLocked(err error) {
 	s.broken = fmt.Errorf("wal: %v", err)
 	if s.f != nil {
-		s.f.Close()
+		// A close failure can carry a deferred write error; fold it into
+		// the broken-store message so it surfaces to every later caller.
+		if cerr := s.f.Close(); cerr != nil {
+			s.broken = fmt.Errorf("wal: %v (and closing the log failed: %v)", err, cerr)
+		}
 		s.f = nil
 	}
 }

@@ -124,7 +124,7 @@ func NewMatcher(g *Graph, ks *KeySet, opts Options) (*Matcher, error) {
 		Match:       match.Options{ValueEq: opts.ValueEq, Workers: opts.Workers},
 		Parallelism: opts.parallelism(),
 		Obs:         inc.RegisterObs(m.reg),
-		Trace:       m.trace,
+		Trace:       m.trace, //emlint:ignore obshandle forwarded as wiring, not dereferenced; Tracer methods are nil-safe
 	})
 	if err != nil {
 		return nil, err
@@ -306,14 +306,12 @@ func OpenMatcher(dir string, ks *KeySet, opts Options) (*Matcher, error) {
 	}
 	m, err := NewMatcher(&Graph{g: gg}, ks, opts)
 	if err != nil {
-		store.Close()
-		return nil, err
+		return nil, closeOnErr(store, err)
 	}
 	store.RegisterObs(m.reg)
 	if want := store.SnapshotPairs(); want != nil {
 		if got := m.pairLabels(); !samePairLabels(got, want) {
-			store.Close()
-			return nil, fmt.Errorf("graphkeys: snapshot in %s stores %d pairs but re-deriving the fixpoint yields %d — snapshot and key set disagree", dir, len(want), len(got))
+			return nil, closeOnErr(store, fmt.Errorf("graphkeys: snapshot in %s stores %d pairs but re-deriving the fixpoint yields %d — snapshot and key set disagree", dir, len(want), len(got)))
 		}
 	}
 	// Replay all records as one batch with a single worker: mutations
@@ -327,8 +325,7 @@ func OpenMatcher(dir string, ks *KeySet, opts Options) (*Matcher, error) {
 			ds[i] = graph.NewDeltaOps(rec.Ops)
 		}
 		if _, _, err := m.eng.ApplyAll(ds, 1); err != nil {
-			store.Close()
-			return nil, fmt.Errorf("graphkeys: replay of WAL records %d..%d: %v", recs[0].Seq, recs[len(recs)-1].Seq, err)
+			return nil, closeOnErr(store, fmt.Errorf("graphkeys: replay of WAL records %d..%d: %v", recs[0].Seq, recs[len(recs)-1].Seq, err))
 		}
 	}
 	// The write-ahead hook buffers the record under the plan mutex and
@@ -345,6 +342,16 @@ func OpenMatcher(dir string, ks *KeySet, opts Options) (*Matcher, error) {
 	})
 	m.store = store
 	return m, nil
+}
+
+// closeOnErr abandons a half-opened store on an OpenMatcher error
+// path, folding a close failure (which may carry a deferred write
+// error) into the error being returned.
+func closeOnErr(store *wal.Store, err error) error {
+	if cerr := store.Close(); cerr != nil {
+		return fmt.Errorf("%v (and closing the WAL failed: %v)", err, cerr)
+	}
+	return err
 }
 
 // Snapshot compacts a durable Matcher's log: it atomically writes the
