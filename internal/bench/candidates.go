@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"graphkeys/internal/chase"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+	"graphkeys/internal/match"
+)
+
+// CandidatesRun is one workload row of the streaming-pipeline
+// experiment: the candidate stage measured twice (materialize L vs
+// drain the stream) and the end-to-end chase measured four ways
+// (sequential and p-way, materialized oracle vs streamed default).
+type CandidatesRun struct {
+	Workload   string `json:"workload"`
+	Radius     int    `json:"radius"`
+	Candidates int    `json:"candidates"`
+
+	// Candidate-stage allocation (bytes, best of 3): building L with
+	// CandidatesIndexed versus draining CandidateStream without
+	// retaining anything.
+	MaterializedAllocBytes uint64 `json:"materialized_alloc_bytes"`
+	StreamedAllocBytes     uint64 `json:"streamed_alloc_bytes"`
+	// AllocReduction is 1 - streamed/materialized (0.40 = 40% less).
+	AllocReduction float64 `json:"alloc_reduction"`
+
+	// End-to-end chase wall clock (ms, best of 3).
+	SeqMaterializedMillis float64 `json:"seq_materialized_ms"`
+	SeqStreamedMillis     float64 `json:"seq_streamed_ms"`
+	SeqSpeedup            float64 `json:"seq_speedup"`
+	ParMaterializedMillis float64 `json:"par_materialized_ms"`
+	ParStreamedMillis     float64 `json:"par_streamed_ms"`
+	ParSpeedup            float64 `json:"par_speedup"`
+
+	// Identical records the differential check: streamed and
+	// materialized runs agreed byte for byte (pairs, step log, work
+	// counters sequentially; fixpoint pairs at p workers).
+	Identical bool `json:"identical"`
+}
+
+// CandidatesReport is the JSON artifact CI publishes as
+// BENCH_candidates.json.
+type CandidatesReport struct {
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Parallelism int             `json:"parallelism"`
+	Entities    int             `json:"entities"`
+	Buckets     int             `json:"buckets"`
+	Runs        []CandidatesRun `json:"runs"`
+}
+
+// JSON renders the report for the CI artifact.
+func (r *CandidatesReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// bucketWorkloadD1 builds the radius-1 reference workload: n entities
+// of one keyed type, each carrying a group value shared by n/buckets
+// entities and a tag value shared by half of them. The key anchors on
+// both, so the candidate set is the union over buckets of the
+// same-tag halves — large enough that materializing L dominates the
+// candidate stage, which is exactly what the generator's planted
+// duplicates (values shared by two entities) cannot produce.
+func bucketWorkloadD1(n, buckets int) (*graph.Graph, *keys.Set, error) {
+	g := graph.New()
+	grp := make([]graph.NodeID, buckets)
+	for i := range grp {
+		grp[i] = g.AddValue(fmt.Sprintf("g%d", i))
+	}
+	tags := []graph.NodeID{g.AddValue("even"), g.AddValue("odd")}
+	for i := 0; i < n; i++ {
+		e := g.MustAddEntity(fmt.Sprintf("r%d", i), "rec")
+		g.MustAddTriple(e, "grp", grp[i%buckets])
+		g.MustAddTriple(e, "tag", tags[i%2])
+	}
+	set, err := keys.ParseString("key QB for rec {\n    x -grp-> g*\n    x -tag-> t*\n}")
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, set, nil
+}
+
+// bucketWorkloadD2 builds the radius-2 reference workload: each entity
+// reaches its group value through a private hub entity, so candidate
+// generation goes through the d-hop value buckets rather than direct
+// posting lists.
+func bucketWorkloadD2(n, buckets int) (*graph.Graph, *keys.Set, error) {
+	g := graph.New()
+	grp := make([]graph.NodeID, buckets)
+	for i := range grp {
+		grp[i] = g.AddValue(fmt.Sprintf("g%d", i))
+	}
+	for i := 0; i < n; i++ {
+		e := g.MustAddEntity(fmt.Sprintf("r%d", i), "rec")
+		h := g.MustAddEntity(fmt.Sprintf("h%d", i), "hub")
+		g.MustAddTriple(e, "via", h)
+		g.MustAddTriple(h, "grp", grp[i%buckets])
+	}
+	set, err := keys.ParseString("key QH for rec {\n    x -via-> _h:hub\n    _h:hub -grp-> g*\n}")
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, set, nil
+}
+
+// allocBytes measures the bytes allocated by f on a quiesced heap.
+// TotalAlloc is cumulative, so the delta counts every allocation the
+// candidate stage makes (the materialized path's L buffer growth and
+// sort scratch included), which is the comparison the streaming
+// pipeline is after.
+func allocBytes(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// minAlloc is the best of n allocBytes measurements (GC noise only
+// ever inflates the delta).
+func minAlloc(n int, f func()) uint64 {
+	best := allocBytes(f)
+	for i := 1; i < n; i++ {
+		if b := allocBytes(f); b < best {
+			best = b
+		}
+	}
+	return best
+}
+
+// bestChase runs the chase n times and returns the last result with
+// the fastest wall clock.
+func bestChase(n int, g *graph.Graph, set *keys.Set, opts chase.Options) (*chase.Result, time.Duration, error) {
+	var res *chase.Result
+	var best time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		r, err := chase.Run(g, set, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		el := time.Since(start)
+		if res == nil || el < best {
+			res, best = r, el
+		}
+	}
+	return res, best, nil
+}
+
+// CandidatesExp measures the streaming candidate pipeline against the
+// materialized oracle on the two reference workloads (radius-1 posting
+// joins, radius-2 value buckets): candidate-stage allocation, and
+// end-to-end chase wall clock sequentially and at p workers, with a
+// byte-identity differential on every run.
+func CandidatesExp(n, buckets, p int) (*Table, *CandidatesReport, error) {
+	rep := &CandidatesReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: p,
+		Entities:    n,
+		Buckets:     buckets,
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Candidate pipeline: materialized vs streamed (n=%d, buckets=%d, p=%d)", n, buckets, p),
+		Header: []string{"workload", "d", "|L|", "mat alloc", "stream alloc", "alloc -%",
+			"seq mat", "seq stream", "x", fmt.Sprintf("p%d mat", p), fmt.Sprintf("p%d stream", p), "x", "identical"},
+	}
+	for _, wl := range []struct {
+		name   string
+		radius int
+		build  func(n, buckets int) (*graph.Graph, *keys.Set, error)
+	}{
+		{"buckets-d1", 1, bucketWorkloadD1},
+		{"buckets-d2", 2, bucketWorkloadD2},
+	} {
+		g, set, err := wl.build(n, buckets)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := match.New(g, set, match.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		var nCands int
+		matAlloc := minAlloc(3, func() { nCands = len(m.CandidatesIndexed()) })
+		streamAlloc := minAlloc(3, func() {
+			nCands = 0
+			for range m.CandidateStream() {
+				nCands++
+			}
+		})
+
+		seqMat, seqMatDur, err := bestChase(3, g, set, chase.Options{Materialize: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		seqStream, seqStreamDur, err := bestChase(3, g, set, chase.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		parMat, parMatDur, err := bestChase(3, g, set, chase.Options{Parallelism: p, Materialize: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		parStream, parStreamDur, err := bestChase(3, g, set, chase.Options{Parallelism: p})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		identical := reflect.DeepEqual(seqStream.Pairs, seqMat.Pairs) &&
+			reflect.DeepEqual(seqStream.Steps, seqMat.Steps) &&
+			seqStream.Candidates == seqMat.Candidates &&
+			seqStream.IsoSteps == seqMat.IsoSteps &&
+			samePairs(parStream.Pairs, parMat.Pairs) &&
+			samePairs(parStream.Pairs, seqStream.Pairs)
+
+		run := CandidatesRun{
+			Workload:               wl.name,
+			Radius:                 wl.radius,
+			Candidates:             nCands,
+			MaterializedAllocBytes: matAlloc,
+			StreamedAllocBytes:     streamAlloc,
+			AllocReduction:         1 - float64(streamAlloc)/float64(nonzero(float64(matAlloc))),
+			SeqMaterializedMillis:  ms(seqMatDur),
+			SeqStreamedMillis:      ms(seqStreamDur),
+			SeqSpeedup:             ms(seqMatDur) / nonzero(ms(seqStreamDur)),
+			ParMaterializedMillis:  ms(parMatDur),
+			ParStreamedMillis:      ms(parStreamDur),
+			ParSpeedup:             ms(parMatDur) / nonzero(ms(parStreamDur)),
+			Identical:              identical,
+		}
+		rep.Runs = append(rep.Runs, run)
+		t.Rows = append(t.Rows, []string{
+			wl.name, fmt.Sprintf("%d", wl.radius), fmt.Sprintf("%d", nCands),
+			fmt.Sprintf("%dKB", matAlloc/1024), fmt.Sprintf("%dKB", streamAlloc/1024),
+			fmt.Sprintf("%.0f%%", run.AllocReduction*100),
+			fmt.Sprintf("%.2fms", run.SeqMaterializedMillis), fmt.Sprintf("%.2fms", run.SeqStreamedMillis),
+			fmt.Sprintf("%.2fx", run.SeqSpeedup),
+			fmt.Sprintf("%.2fms", run.ParMaterializedMillis), fmt.Sprintf("%.2fms", run.ParStreamedMillis),
+			fmt.Sprintf("%.2fx", run.ParSpeedup),
+			fmt.Sprintf("%v", identical),
+		})
+	}
+	return t, rep, nil
+}

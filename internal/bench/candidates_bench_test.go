@@ -28,18 +28,21 @@ func candidatesWorkload(tb testing.TB, radius int) *gen.Workload {
 }
 
 // BenchmarkCandidates compares candidate-set construction: the full
-// O(n²) per-type sweep versus the value-indexed join, at radius 1
-// (pure posting-list join) and radius 2 (neighborhood value buckets).
+// O(n²) per-type sweep, the materialized value-indexed join, and the
+// lazy candidate stream, at radius 1 (pure posting-list join) and
+// radius 2 (neighborhood value buckets).
 func BenchmarkCandidates(b *testing.B) {
 	for _, bc := range []struct {
 		name   string
 		radius int
-		full   bool
+		mode   string
 	}{
-		{"sweep/d1", 1, true},
-		{"indexed/d1", 1, false},
-		{"sweep/d2", 2, true},
-		{"indexed/d2", 2, false},
+		{"sweep/d1", 1, "sweep"},
+		{"indexed/d1", 1, "indexed"},
+		{"streamed/d1", 1, "streamed"},
+		{"sweep/d2", 2, "sweep"},
+		{"indexed/d2", 2, "indexed"},
+		{"streamed/d2", 2, "streamed"},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			w := candidatesWorkload(b, bc.radius)
@@ -50,10 +53,16 @@ func BenchmarkCandidates(b *testing.B) {
 			b.ResetTimer()
 			var n int
 			for i := 0; i < b.N; i++ {
-				if bc.full {
+				switch bc.mode {
+				case "sweep":
 					n = len(m.Candidates())
-				} else {
+				case "indexed":
 					n = len(m.CandidatesIndexed())
+				default:
+					n = 0
+					for range m.CandidateStream() {
+						n++
+					}
 				}
 			}
 			b.ReportMetric(float64(n), "candidates")
@@ -62,21 +71,22 @@ func BenchmarkCandidates(b *testing.B) {
 }
 
 // BenchmarkChaseCandidates measures the end-to-end effect: the full
-// sequential chase over the 1200-entity workload with and without
-// value-indexed candidate generation.
+// sequential chase over the 1200-entity workload with the O(n²) sweep,
+// the materialized indexed join, and the streaming default.
 func BenchmarkChaseCandidates(b *testing.B) {
 	for _, bc := range []struct {
 		name string
-		full bool
+		opts chase.Options
 	}{
-		{"sweep", true},
-		{"indexed", false},
+		{"sweep", chase.Options{FullSweep: true}},
+		{"indexed", chase.Options{Materialize: true}},
+		{"streamed", chase.Options{}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			w := candidatesWorkload(b, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := chase.Run(w.Graph, w.Keys, chase.Options{FullSweep: bc.full})
+				res, err := chase.Run(w.Graph, w.Keys, bc.opts)
 				if err != nil {
 					b.Fatal(err)
 				}

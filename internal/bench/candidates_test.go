@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestCandidatesExpSmoke runs the streaming-pipeline experiment at a
+// smoke size. The byte-identity differential must hold everywhere and
+// always; the performance bar — ≥1.3× end-to-end chase or ≥40% less
+// candidate-stage allocation on the radius-1 reference workload — is
+// asserted like TestRepairExpSmoke: CI runners with 4 cores enforce
+// it, smaller machines skip only the perf half.
+func TestCandidatesExpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	_, rep, err := CandidatesExp(1500, 15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) == 0 {
+		t.Fatal("no runs in report")
+	}
+	for _, run := range rep.Runs {
+		if !run.Identical {
+			t.Errorf("%s: streamed chase diverged from the materialized oracle", run.Workload)
+		}
+		if run.Candidates == 0 {
+			t.Errorf("%s: empty candidate set — workload is degenerate", run.Workload)
+		}
+	}
+	ref := rep.Runs[0] // buckets-d1 is the reference workload
+	if ref.AllocReduction >= 0.40 || ref.SeqSpeedup >= 1.3 || ref.ParSpeedup >= 1.3 {
+		return
+	}
+	if runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("perf bar needs >= 4 CPUs (GOMAXPROCS=%d, NumCPU=%d); measured alloc -%.0f%%, seq %.2fx, par %.2fx",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), ref.AllocReduction*100, ref.SeqSpeedup, ref.ParSpeedup)
+	}
+	t.Errorf("reference workload below the bar: alloc -%.0f%% (want >= 40%%) and chase %.2fx seq / %.2fx par (want >= 1.3x)",
+		ref.AllocReduction*100, ref.SeqSpeedup, ref.ParSpeedup)
+}

@@ -84,6 +84,14 @@ type Options struct {
 	// must be identical. It exists for measurement and differential
 	// testing.
 	FullSweep bool
+	// Materialize forces the materialized candidate path: build and
+	// sort the whole candidate list L before any key check runs, as
+	// the chase did before the streaming pipeline. The default streams
+	// candidates out of match.CandidateStream instead, never holding
+	// L; results must be byte-identical (pairs, step log, stats) — the
+	// materialized path is kept as the differential oracle and for
+	// measurement. FullSweep and Order imply materialization.
+	Materialize bool
 }
 
 // Run computes chase(G, Σ). It sweeps the candidate set until a sweep
@@ -98,6 +106,9 @@ func Run(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
 	m, err := match.New(g, set, opts.Match)
 	if err != nil {
 		return nil, err
+	}
+	if !opts.FullSweep && !opts.Materialize && opts.Order == nil {
+		return runSequentialStreamed(m, opts), nil
 	}
 	var cands []eqrel.Pair
 	if opts.FullSweep {
@@ -195,7 +206,7 @@ func Violations(g *graph.Graph, set *keys.Set, opts match.Options) ([]Violation,
 	}
 	var out []Violation
 	id := match.Identity()
-	for _, pr := range m.CandidatesIndexed() {
+	for pr := range m.CandidateStream() {
 		e1, e2 := graph.NodeID(pr.A), graph.NodeID(pr.B)
 		t := m.G.TypeOf(e1)
 		for _, ck := range m.KeysFor(t) {

@@ -51,6 +51,20 @@ func runParallel(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The dependency machinery only matters when some key is
+	// recursive: without entity variables no check consults Eq, so no
+	// failed check can newly succeed after a merge and one round
+	// reaches the fixpoint.
+	recursive := false
+	for _, k := range set.Keys() {
+		if k.Recursive {
+			recursive = true
+			break
+		}
+	}
+	if !opts.FullSweep && !opts.Materialize {
+		return runParallelStreamed(m, recursive, opts), nil
+	}
 	var cands []eqrel.Pair
 	if opts.FullSweep {
 		cands = m.Candidates()
@@ -62,16 +76,9 @@ func runParallel(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
 	}
 	res := &Result{Candidates: len(cands)}
 	tr := engine.NewTracker(g.NumNodes())
-	// The dependency index only matters when some key is recursive:
-	// without entity variables no check consults Eq, so no failed check
-	// can newly succeed after a merge and one round reaches the
-	// fixpoint.
 	var depIdx *match.DependencyIndex
-	for _, k := range set.Keys() {
-		if k.Recursive {
-			depIdx = m.BuildDependencyIndexParallel(cands, p)
-			break
-		}
+	if recursive {
+		depIdx = m.BuildDependencyIndexParallel(cands, p)
 	}
 	var isoSteps atomic.Int64
 

@@ -1,0 +1,227 @@
+package chase
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"graphkeys/internal/engine"
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/match"
+)
+
+// This file runs the chase directly off the streaming candidate
+// pipeline (match.CandidateStream): key checks start while candidate
+// generation is still running, and the full candidate list L is never
+// materialized — only the pairs whose first check failed are retained
+// for the fixpoint iteration. Both paths below are provably
+// byte-identical (Pairs, Steps, Candidates, IsoSteps) to their
+// materialized counterparts in chase.go / parallel.go, which stay as
+// the differential oracle (Options.Materialize):
+//
+//   - Sequential: sweep 1 consumes the stream in its sorted order,
+//     which is elementwise the materialized list's order. Same(A, B)
+//     is monotone under the chase (unions are never undone), so a pair
+//     identified or transitively merged in an earlier sweep is skipped
+//     by every later materialized sweep — retaining only the pairs
+//     whose check failed, in order, reproduces the materialized sweep
+//     loop check for check.
+//
+//   - Parallel: round 1 of the materialized parallel chase checks all
+//     of L against the initial (identity) snapshot, so each verdict is
+//     independent of every other pair; checking the stream in bounded
+//     chunks against that same snapshot and committing verdicts in
+//     stream order produces identical unions and steps regardless of
+//     chunk boundaries. The dependency index is then built over the
+//     failed pairs only: a dependent pair that succeeded in round 1 is
+//     already Same and the materialized worklist filters it at push
+//     time, so the gated rounds see identical active sets (failed
+//     pairs keep their relative order, so sorted indices agree) and
+//     run exactly as in parallel.go.
+func runSequentialStreamed(m *match.Matcher, opts Options) *Result {
+	res := &Result{Eq: eqrel.New(m.G.NumNodes())}
+	stream := m.CandidateStream()
+	if opts.UsePairing {
+		stream = m.FilterStream(stream)
+	}
+	// Sweep 1: check pairs as they stream out of the joins, keeping
+	// only the failures.
+	var failed []eqrel.Pair
+	for pr := range stream {
+		res.Candidates++
+		if res.Eq.Same(pr.A, pr.B) {
+			continue
+		}
+		ok, key, reqs, uses, steps := identify(m, graph.NodeID(pr.A), graph.NodeID(pr.B), res.Eq, opts.UseVF2)
+		res.IsoSteps += steps
+		if !ok {
+			failed = append(failed, pr)
+			continue
+		}
+		res.Eq.Union(pr.A, pr.B)
+		res.Steps = append(res.Steps, Step{Pair: pr, Key: key, Requires: reqs, Uses: uses})
+	}
+	// Fixpoint sweeps over the failed pairs, dropping any that get
+	// identified or transitively merged (Same is monotone: once
+	// skipped, always skipped).
+	changed := len(res.Steps) > 0
+	for changed {
+		changed = false
+		remaining := failed[:0]
+		for _, pr := range failed {
+			if res.Eq.Same(pr.A, pr.B) {
+				continue
+			}
+			ok, key, reqs, uses, steps := identify(m, graph.NodeID(pr.A), graph.NodeID(pr.B), res.Eq, opts.UseVF2)
+			res.IsoSteps += steps
+			if !ok {
+				remaining = append(remaining, pr)
+				continue
+			}
+			res.Eq.Union(pr.A, pr.B)
+			res.Steps = append(res.Steps, Step{Pair: pr, Key: key, Requires: reqs, Uses: uses})
+			changed = true
+		}
+		failed = remaining
+	}
+	res.Pairs = res.Eq.Pairs(m.KeyedEntities())
+	return res
+}
+
+// streamChunk bounds how many streamed candidates are in flight per
+// parallel check batch: large enough to amortize the fan-out, small
+// enough that memory stays O(chunk + failed) instead of O(L).
+const streamChunk = 1024
+
+type verdict struct {
+	ok   bool
+	key  string
+	reqs []eqrel.Pair
+	uses []graph.Triple
+}
+
+// runParallelStreamed is the parallel chase of parallel.go with round
+// one fed by the candidate stream in chunks. See the file comment for
+// the byte-identity argument; the recursive rounds are verbatim the
+// materialized ones, operating on the retained failed pairs.
+func runParallelStreamed(m *match.Matcher, recursive bool, opts Options) *Result {
+	p := opts.Parallelism
+	res := &Result{}
+	tr := engine.NewTracker(m.G.NumNodes())
+	var isoSteps atomic.Int64
+
+	stream := m.CandidateStream()
+	if opts.UsePairing {
+		stream = m.FilterStream(stream)
+	}
+
+	// Round 1: every check sees the initial identity snapshot, so
+	// verdicts are independent of chunk boundaries; commits happen in
+	// stream order, exactly as the materialized merge phase would.
+	snap := tr.Snapshot().Reader()
+	changed := make(map[int32]bool)
+	var failed []eqrel.Pair
+	chunk := make([]eqrel.Pair, 0, streamChunk)
+	verdicts := make([]verdict, streamChunk)
+	flush := func() {
+		if len(chunk) == 0 {
+			return
+		}
+		engine.Parallel(p, len(chunk), func(i int) {
+			pr := chunk[i]
+			ok, key, reqs, uses, steps := identify(m, graph.NodeID(pr.A), graph.NodeID(pr.B), snap, opts.UseVF2)
+			isoSteps.Add(int64(steps))
+			verdicts[i] = verdict{ok: ok, key: key, reqs: reqs, uses: uses}
+		})
+		for i, pr := range chunk {
+			v := verdicts[i]
+			if !v.ok {
+				if recursive {
+					failed = append(failed, pr)
+				}
+				continue
+			}
+			affected, grew := tr.Union(pr.A, pr.B)
+			if !grew {
+				continue
+			}
+			res.Steps = append(res.Steps, Step{Pair: pr, Key: v.key, Requires: v.reqs, Uses: v.uses})
+			for _, x := range affected {
+				changed[x] = true
+			}
+		}
+		chunk = chunk[:0]
+	}
+	for pr := range stream {
+		res.Candidates++
+		chunk = append(chunk, pr)
+		if len(chunk) == streamChunk {
+			flush()
+		}
+	}
+	flush()
+
+	// Recursive rounds: dependency-gated re-checks over the failed
+	// pairs, identical to parallel.go's (a failed pair's index order
+	// matches its stream order, so the sorted active sets agree with
+	// the materialized chase's).
+	if recursive && len(changed) > 0 && len(failed) > 0 {
+		depIdx := m.BuildDependencyIndexParallel(failed, p)
+		active := nextActive(tr, depIdx, failed, changed)
+		for len(active) > 0 {
+			snap := tr.Snapshot().Reader()
+			verdicts := make([]verdict, len(active))
+			engine.Parallel(p, len(active), func(i int) {
+				pr := failed[active[i]]
+				if snap.Same(pr.A, pr.B) {
+					return
+				}
+				ok, key, reqs, uses, steps := identify(m, graph.NodeID(pr.A), graph.NodeID(pr.B), snap, opts.UseVF2)
+				isoSteps.Add(int64(steps))
+				if ok {
+					verdicts[i] = verdict{ok: true, key: key, reqs: reqs, uses: uses}
+				}
+			})
+			changed := make(map[int32]bool)
+			for i, v := range verdicts {
+				if !v.ok {
+					continue
+				}
+				pr := failed[active[i]]
+				affected, grew := tr.Union(pr.A, pr.B)
+				if !grew {
+					continue
+				}
+				res.Steps = append(res.Steps, Step{Pair: pr, Key: v.key, Requires: v.reqs, Uses: v.uses})
+				for _, x := range affected {
+					changed[x] = true
+				}
+			}
+			if len(changed) == 0 {
+				break
+			}
+			active = nextActive(tr, depIdx, failed, changed)
+		}
+	}
+
+	res.Eq = tr.Relation()
+	res.IsoSteps = int(isoSteps.Load())
+	res.Pairs = res.Eq.Pairs(m.KeyedEntities())
+	return res
+}
+
+// nextActive collects the sorted indices of not-yet-identified pairs
+// depending on an entity whose class just merged.
+func nextActive(tr *engine.Tracker, depIdx *match.DependencyIndex, pairs []eqrel.Pair, changed map[int32]bool) []int {
+	wl := engine.NewWorklist[int]()
+	for e := range changed {
+		for _, di := range depIdx.Dependents(graph.NodeID(e)) {
+			if !tr.Same(pairs[di].A, pairs[di].B) {
+				wl.Push(di)
+			}
+		}
+	}
+	active := wl.Drain()
+	sort.Ints(active)
+	return active
+}

@@ -1,0 +1,70 @@
+package chase
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestStreamedMatchesMaterialized is the streaming pipeline's
+// acceptance differential: at every worker count, with and without the
+// pairing filter, the streamed chase (the default) must be
+// byte-identical to the materialized oracle (Options.Materialize) —
+// not just the fixpoint Pairs but the step log, the candidate count
+// and the work counter. Sequential equality holds because retaining
+// only failed pairs reproduces the sweep loop check for check (Same is
+// monotone); parallel equality because round-1 verdicts depend only on
+// the initial snapshot, so chunked streaming commits the same unions
+// in the same order.
+func TestStreamedMatchesMaterialized(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		for _, p := range []int{1, 2, 4, 8} {
+			for _, pairing := range []bool{false, true} {
+				name := fmt.Sprintf("%s/p%d/pairing=%v", tc.name, p, pairing)
+				opts := Options{Parallelism: p, UsePairing: pairing}
+				streamed, err := Run(tc.g, tc.set, opts)
+				if err != nil {
+					t.Fatalf("%s: streamed: %v", name, err)
+				}
+				opts.Materialize = true
+				oracle, err := Run(tc.g, tc.set, opts)
+				if err != nil {
+					t.Fatalf("%s: materialized: %v", name, err)
+				}
+				if !reflect.DeepEqual(streamed.Pairs, oracle.Pairs) {
+					t.Errorf("%s: Pairs diverge\nstreamed: %v\noracle:   %v", name, streamed.Pairs, oracle.Pairs)
+				}
+				if !reflect.DeepEqual(streamed.Steps, oracle.Steps) {
+					t.Errorf("%s: step logs diverge\nstreamed: %v\noracle:   %v", name, streamed.Steps, oracle.Steps)
+				}
+				if streamed.Candidates != oracle.Candidates {
+					t.Errorf("%s: Candidates = %d, oracle %d", name, streamed.Candidates, oracle.Candidates)
+				}
+				if streamed.IsoSteps != oracle.IsoSteps {
+					t.Errorf("%s: IsoSteps = %d, oracle %d", name, streamed.IsoSteps, oracle.IsoSteps)
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializeOptionPreservesSequentialOracle pins the oracle
+// itself: Materialize alone must not change anything relative to the
+// pre-streaming chase semantics (FullSweep and Order force the same
+// materialized path, so those combinations stay covered by the
+// existing differential tests).
+func TestMaterializeOptionPreservesSequentialOracle(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		seq, err := Run(tc.g, tc.set, Options{Materialize: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		full, err := Run(tc.g, tc.set, Options{FullSweep: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(seq.Pairs, full.Pairs) {
+			t.Errorf("%s: materialized-indexed vs full-sweep pairs diverge", tc.name)
+		}
+	}
+}

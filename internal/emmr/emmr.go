@@ -29,6 +29,7 @@ package emmr
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"graphkeys/internal/engine"
@@ -156,7 +157,10 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 	if cfg.FullSweep {
 		unfiltered = m.Candidates()
 	} else {
-		unfiltered = m.CandidatesIndexed()
+		// Collected rather than consumed lazily: the MapReduce driver
+		// partitions L across its simulated cluster up front, so the
+		// stream's value here is sharing the greedy-planned joins.
+		unfiltered = slices.Collect(m.CandidateStream())
 	}
 	st.CandidatesUnfiltered = len(unfiltered)
 	cands := unfiltered

@@ -2,6 +2,7 @@ package emvc
 
 import (
 	"fmt"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -143,7 +144,9 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 	if cfg.FullSweep {
 		cands = m.Candidates()
 	} else {
-		cands = m.CandidatesIndexed()
+		// Collected rather than consumed lazily: the product graph
+		// (Proposition 9) needs all of L to build its vertices.
+		cands = slices.Collect(m.CandidateStream())
 	}
 	st.prod, st.cands = buildProduct(m, cands, cfg.P)
 	st.stats.Candidates = len(st.cands)

@@ -1,7 +1,7 @@
 // Package engine is the shared concurrent-execution substrate of the
-// entity-matching engines: worker-count resolution, strided
-// parallel-for, a dedup worklist, and a lock-protected equivalence
-// tracker with class-membership lists.
+// entity-matching engines: worker-count resolution, a parallel-for on
+// a persistent work-stealing pool, a dedup worklist, and a
+// lock-protected equivalence tracker with class-membership lists.
 //
 // Before this package existed, the sequential chase, EMMR, EMVC and the
 // incremental engine each hand-rolled their own partitioning, worklist
@@ -10,10 +10,7 @@
 // which is built directly on Parallel + Tracker + Worklist.
 package engine
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // DefaultWorkers is the ceiling for the default worker count: the
 // paper's experiments default to p = 4, and small fixed parallelism
@@ -38,42 +35,14 @@ func Workers(p int) int {
 }
 
 // Parallel runs fn(i) for i in [0, n) across the given number of
-// goroutines, striding the index space so adjacent items spread over
-// workers (candidate lists are sorted, and neighboring pairs tend to
-// cost alike). It degrades to a sequential loop when workers < 2 or
-// the problem is trivially small, and returns when every call has.
+// workers of the process-shared persistent pool (see pool.go): the
+// index space splits into chunks spread round-robin over the
+// participants (adjacent items spread over workers — candidate lists
+// are sorted, and neighboring pairs tend to cost alike), and idle
+// participants steal from busy ones' tails, so skewed loads balance
+// instead of striding blindly. It degrades to a sequential inline loop
+// when workers < 2 or the problem is trivially small, and returns when
+// every call has.
 func Parallel(workers, n int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	ob := globalObs.Load()
-	if ob != nil && n > 0 {
-		ob.ParallelCalls.Inc()
-		ob.ParallelItems.Add(int64(n))
-	}
-	if workers < 2 || n < 2 {
-		if ob != nil && n > 0 {
-			ob.ActiveWorkers.Inc()
-			defer ob.ActiveWorkers.Dec()
-		}
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if ob != nil {
-				ob.ActiveWorkers.Inc()
-				defer ob.ActiveWorkers.Dec()
-			}
-			for i := w; i < n; i += workers {
-				fn(i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	shared().Parallel(workers, n, fn)
 }

@@ -19,6 +19,17 @@ type Obs struct {
 	// ActiveWorkers tracks the worker goroutines currently running —
 	// a live utilization gauge for the whole process.
 	ActiveWorkers *obs.Gauge
+	// PoolSteals counts chunks taken from another participant's deque
+	// tail: the load-imbalance signal of the work-stealing pool (zero
+	// means every participant stayed busy on its own share).
+	PoolSteals *obs.Counter
+	// PoolWorkerTasks counts items executed per persistent pool worker
+	// (worker IDs fold modulo the vector width); PoolSubmitterTasks
+	// counts items the submitting/waiting goroutines executed
+	// themselves. A skew across workers with a low steal count points
+	// at chunking too coarse to balance.
+	PoolWorkerTasks    *obs.CounterVec
+	PoolSubmitterTasks *obs.Counter
 }
 
 var globalObs atomic.Pointer[Obs]
@@ -36,8 +47,11 @@ func RegisterObs(r *obs.Registry) {
 		return
 	}
 	SetObs(&Obs{
-		ParallelCalls: r.Counter("engine.parallel_calls", "Parallel invocations"),
-		ParallelItems: r.Counter("engine.parallel_items", "items fanned out by Parallel"),
-		ActiveWorkers: r.Gauge("engine.active_workers", "worker goroutines currently running"),
+		ParallelCalls:      r.Counter("engine.parallel_calls", "Parallel invocations"),
+		ParallelItems:      r.Counter("engine.parallel_items", "items fanned out by Parallel"),
+		ActiveWorkers:      r.Gauge("engine.active_workers", "worker goroutines currently running"),
+		PoolSteals:         r.Counter("engine.pool_steals", "chunks stolen from another participant's deque"),
+		PoolWorkerTasks:    r.CounterVec("engine.pool_worker_tasks", "items executed per pool worker", "worker", poolTaskBuckets),
+		PoolSubmitterTasks: r.Counter("engine.pool_submitter_tasks", "items executed by submitting goroutines"),
 	})
 }

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the persistent work-stealing pool behind Parallel.
+//
+// The strided Parallel of PR 3 spawned fresh goroutines on every call
+// and partitioned the index space statically, so a skewed load — one
+// giant repair component next to dozens of tiny ones, one hot
+// candidate chunk next to cold ones — left all but one worker idle
+// while the unlucky one finished alone. The pool keeps a fixed set of
+// worker goroutines alive for the life of the process, splits each
+// parallel-for into chunks distributed round-robin over per-worker
+// deques (preserving the old stride's property that adjacent items
+// spread over workers: neighboring candidates tend to cost alike), and
+// lets idle workers steal from the busy ones' deque tails.
+//
+// Deadlock freedom under nesting (the incremental engine fans out over
+// deltas whose application fans out again over graph shards) comes
+// from submitter participation: the submitting goroutine is always
+// participant zero of its own job and drains or steals until no chunk
+// is obtainable, so a job completes even if every pool worker is busy
+// elsewhere — the pool only ever accelerates a job, it is never
+// required for progress. Workers that find nothing to pop or steal
+// leave the job instead of waiting, so no pool goroutine ever blocks
+// on another job's completion.
+
+// maxPoolWorkers bounds the pool size; requests beyond it still
+// complete (extra chunks are drained by stealing), they just share the
+// capped worker set.
+const maxPoolWorkers = 64
+
+// poolTaskBuckets is the width of the per-worker task CounterVec;
+// worker IDs fold into it modulo the width.
+const poolTaskBuckets = 16
+
+// chunksPerWorker is the steal granularity: each participant's share
+// of the index space splits into this many chunks, so a worker that
+// finishes early finds up to chunksPerWorker*(p-1) stealable pieces.
+const chunksPerWorker = 8
+
+// Pool is a persistent work-stealing worker pool. A zero Pool is not
+// usable; use NewPool, or the process-shared pool Parallel runs on.
+// All methods are safe for concurrent use, including nested submission
+// from inside a running job.
+type Pool struct {
+	mu   sync.Mutex
+	size int
+	jobs chan *Job
+}
+
+// NewPool starts a pool with the given number of persistent workers
+// (clamped to [1, 64]). Close releases them.
+func NewPool(size int) *Pool {
+	p := &Pool{jobs: make(chan *Job, 4*maxPoolWorkers)}
+	if size < 1 {
+		size = 1
+	}
+	p.ensure(size)
+	return p
+}
+
+// Close shuts the pool's workers down. No Parallel or Submit call may
+// be in flight or follow.
+func (p *Pool) Close() {
+	close(p.jobs)
+}
+
+// ensure grows the worker set to at least n goroutines (capped).
+func (p *Pool) ensure(n int) {
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	p.mu.Lock()
+	for p.size < n {
+		go p.worker(p.size)
+		p.size++
+	}
+	p.mu.Unlock()
+}
+
+// worker is the persistent loop of one pool goroutine: take a job
+// token, help with that job until nothing is left to pop or steal,
+// go back to waiting. It never blocks on a job's completion.
+func (p *Pool) worker(id int) {
+	for j := range p.jobs {
+		slot := int(j.joiners.Add(1))
+		if slot >= len(j.deques) {
+			continue // job fully subscribed; stale wake token
+		}
+		j.run(slot, id)
+	}
+}
+
+// chunkRange is one contiguous piece [lo, hi) of a job's index space.
+type chunkRange struct{ lo, hi int32 }
+
+// Job is one submitted parallel-for. Wait blocks until every index has
+// run, lending the waiting goroutine to the remaining chunks first.
+type Job struct {
+	fn     func(int)
+	chunks []chunkRange
+	deques []deque
+	// joiners assigns deque slots to pool workers as they pick up the
+	// job's wake tokens; slot 0 is reserved for the submitter/waiter.
+	joiners atomic.Int32
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// deque is one participant's chunk queue: the owner pops from the
+// head, thieves steal from the tail. A mutex (not a lock-free deque)
+// is enough here — chunks are coarse, so queue operations are rare
+// relative to the work they hand out.
+type deque struct {
+	mu    sync.Mutex
+	items []int32
+	head  int
+}
+
+func (d *deque) pop() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.items) {
+		return 0, false
+	}
+	c := d.items[d.head]
+	d.head++
+	return c, true
+}
+
+func (d *deque) stealTail() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.items) {
+		return 0, false
+	}
+	c := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return c, true
+}
+
+// newJob chunks [0, n) over the given participant count and fills the
+// per-participant deques round-robin.
+func newJob(participants, n int, fn func(int)) *Job {
+	nchunks := participants * chunksPerWorker
+	if nchunks > n {
+		nchunks = n
+	}
+	j := &Job{
+		fn:     fn,
+		chunks: make([]chunkRange, nchunks),
+		deques: make([]deque, participants),
+		done:   make(chan struct{}),
+	}
+	size, rem := n/nchunks, n%nchunks
+	lo := int32(0)
+	for c := range j.chunks {
+		hi := lo + int32(size)
+		if c < rem {
+			hi++
+		}
+		j.chunks[c] = chunkRange{lo, hi}
+		lo = hi
+	}
+	for s := range j.deques {
+		items := make([]int32, 0, (nchunks+participants-1)/participants)
+		for c := s; c < nchunks; c += participants {
+			items = append(items, int32(c))
+		}
+		j.deques[s].items = items
+	}
+	j.pending.Store(int32(nchunks))
+	return j
+}
+
+// run participates in the job from the given deque slot until no chunk
+// can be popped or stolen. workerID is the pool worker's identity for
+// the per-worker task counters, or -1 for a submitter/waiter.
+func (j *Job) run(slot, workerID int) {
+	ob := globalObs.Load()
+	if ob != nil {
+		ob.ActiveWorkers.Inc()
+	}
+	// Per-chunk accounting accumulates locally and flushes once on the
+	// way out: one atomic add per participant-join, not per chunk,
+	// keeps the instrumented path within the obs overhead budget.
+	var executed, stole int64
+	for {
+		c, ok := j.deques[slot].pop()
+		if !ok {
+			c, ok = j.steal(slot)
+			if !ok {
+				break
+			}
+			stole++
+		}
+		r := j.chunks[c]
+		for i := r.lo; i < r.hi; i++ {
+			j.fn(int(i))
+		}
+		executed += int64(r.hi - r.lo)
+		if j.pending.Add(-1) == 0 {
+			close(j.done)
+		}
+	}
+	if ob != nil {
+		ob.ActiveWorkers.Dec()
+		if stole > 0 {
+			ob.PoolSteals.Add(stole)
+		}
+		if executed > 0 {
+			if workerID >= 0 {
+				ob.PoolWorkerTasks.At(workerID % poolTaskBuckets).Add(executed)
+			} else {
+				ob.PoolSubmitterTasks.Add(executed)
+			}
+		}
+	}
+}
+
+// steal scans the other participants' deques for a chunk, starting
+// just past the thief's own slot.
+func (j *Job) steal(slot int) (int32, bool) {
+	for k := 1; k < len(j.deques); k++ {
+		if c, ok := j.deques[(slot+k)%len(j.deques)].stealTail(); ok {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Wait blocks until every index of the job has run. The waiter helps
+// first: it drains its reserved deque slot and steals leftovers, so a
+// job completes even when every pool worker is busy elsewhere.
+func (j *Job) Wait() {
+	if j.done == nil {
+		return // trivial job, ran inline at submission
+	}
+	j.run(0, -1)
+	<-j.done
+}
+
+// Parallel runs fn(i) for i in [0, n) on the pool and returns when
+// every call has. The submitting goroutine always participates, so
+// nested Parallel calls from inside a running job cannot deadlock.
+// Like the package-level Parallel it degrades to an inline loop when
+// workers < 2 or n < 2.
+func (p *Pool) Parallel(workers, n int, fn func(i int)) {
+	p.Submit(workers, n, fn).Wait()
+}
+
+// Submit enqueues fn over [0, n) as a job on the pool and returns
+// without waiting; pool workers start on it immediately. The caller
+// must eventually Wait — the waiter lends its goroutine to whatever
+// chunks remain. Trivial submissions (workers < 2 or n < 2) run
+// inline before Submit returns.
+func (p *Pool) Submit(workers, n int, fn func(i int)) *Job {
+	if workers > n {
+		workers = n
+	}
+	ob := globalObs.Load()
+	if ob != nil && n > 0 {
+		ob.ParallelCalls.Inc()
+		ob.ParallelItems.Add(int64(n))
+	}
+	if workers < 2 || n < 2 {
+		if ob != nil && n > 0 {
+			ob.ActiveWorkers.Inc()
+			defer ob.ActiveWorkers.Dec()
+		}
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return &Job{}
+	}
+	p.ensure(workers)
+	j := newJob(workers, n, fn)
+	for w := 1; w < workers; w++ {
+		select {
+		case p.jobs <- j:
+		default:
+			// Token queue full (extreme nesting): skip the wake-up; the
+			// waiter drains the unclaimed deques itself.
+			return j
+		}
+	}
+	return j
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// shared returns the process-wide pool the package-level Parallel runs
+// on, sized to GOMAXPROCS at first use and grown on demand when a
+// caller asks for more workers than it has.
+func shared() *Pool {
+	sharedOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		sharedPool = NewPool(n)
+	})
+	return sharedPool
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphkeys/internal/obs"
+)
+
+// Every index must run exactly once, for any worker/size combination,
+// including workers beyond the pool's persistent size.
+func TestPoolParallelCoversAllIndices(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	for _, tc := range []struct{ workers, n int }{
+		{1, 0}, {1, 1}, {2, 1}, {2, 2}, {2, 100},
+		{4, 3}, {4, 1000}, {8, 17}, {16, 1000}, {100, 257},
+	} {
+		counts := make([]atomic.Int32, tc.n)
+		p.Parallel(tc.workers, tc.n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d n=%d: index %d ran %d times", tc.workers, tc.n, i, got)
+			}
+		}
+	}
+}
+
+// Nested submission must complete even when every pool worker is busy
+// with the outer job: the submitter participates in its own job, so
+// the pool is never required for progress.
+func TestPoolNestedParallelNoDeadlock(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var total atomic.Int64
+		p.Parallel(4, 8, func(i int) {
+			p.Parallel(4, 8, func(j int) {
+				total.Add(1)
+			})
+		})
+		if got := total.Load(); got != 64 {
+			t.Errorf("nested fan-out ran %d inner items, want 64", got)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Parallel deadlocked")
+	}
+}
+
+// Submit returns before the job completes; Wait lends the waiter to
+// the leftovers and returns only when every index has run.
+func TestPoolSubmitWait(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var ran atomic.Int32
+	j := p.Submit(4, 500, func(i int) {
+		ran.Add(1)
+	})
+	j.Wait()
+	if got := ran.Load(); got != 500 {
+		t.Fatalf("after Wait: %d of 500 indices ran", got)
+	}
+	// Trivial submissions run inline; Wait on them is a no-op.
+	var inline atomic.Int32
+	p.Submit(1, 3, func(i int) { inline.Add(1) }).Wait()
+	if got := inline.Load(); got != 3 {
+		t.Fatalf("inline submission ran %d of 3", got)
+	}
+}
+
+// A skewed load must spread: with one chunk's item vastly more
+// expensive than the rest, the cheap chunks drain via stealing and the
+// per-worker/submitter task counters account for every item exactly
+// once.
+func TestPoolStealAccounting(t *testing.T) {
+	prev := globalObs.Load()
+	defer globalObs.Store(prev)
+	reg := obs.NewRegistry()
+	RegisterObs(reg)
+	ob := globalObs.Load()
+
+	p := NewPool(4)
+	defer p.Close()
+	const n = 4000
+	var total atomic.Int64
+	p.Parallel(4, n, func(i int) {
+		if i == 0 {
+			time.Sleep(20 * time.Millisecond) // the skewed item
+		}
+		total.Add(1)
+	})
+	if total.Load() != n {
+		t.Fatalf("ran %d of %d", total.Load(), n)
+	}
+	var accounted int64
+	for i := 0; i < ob.PoolWorkerTasks.Len(); i++ {
+		accounted += ob.PoolWorkerTasks.At(i).Value()
+	}
+	accounted += ob.PoolSubmitterTasks.Value()
+	if accounted != n {
+		t.Fatalf("task counters account for %d items, want %d", accounted, n)
+	}
+}
+
+// The result of a pool-run parallel-for must be independent of worker
+// count and identical run to run when the per-index function is pure:
+// the chunking is deterministic and every index runs exactly once, so
+// writes into a pre-sized slice land identically.
+func TestPoolDeterministicWrites(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ref := make([]int, 1000)
+	for i := range ref {
+		ref[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		out := make([]int, len(ref))
+		p.Parallel(workers, len(out), func(i int) {
+			out[i] = i * i
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}

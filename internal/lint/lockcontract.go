@@ -216,6 +216,11 @@ func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 		switch {
 		case fn.Name() == "Parallel" && fn.Pkg() != nil && pkgIs(fn.Pkg().Path(), "internal/engine"):
 			return "engine.Parallel fan-out", true
+		case fn.Name() == "Submit" && fn.Pkg() != nil && pkgIs(fn.Pkg().Path(), "internal/engine") &&
+			recvNamed(fn) != nil && recvNamed(fn).Obj().Name() == "Pool":
+			// Submitting couples the locked region to the pool (and the
+			// paired Wait blocks on it); both belong after Unlock.
+			return "engine.Pool.Submit", true
 		case fn.Name() == "Sync" && recvNamed(fn) != nil && returnsError(fn):
 			return "fsync (" + recvNamed(fn).Obj().Name() + ".Sync)", true
 		case fn.Name() == "Wait" && recvNamed(fn) != nil:

@@ -1,7 +1,23 @@
 // Package engine shims graphkeys/internal/engine for the fixtures:
-// the analyzers match engine.Parallel by path suffix and name.
+// the analyzers match engine.Parallel, Pool.Submit and Job.Wait by
+// path suffix, receiver and name.
 package engine
 
 func Workers(p int) int { return p }
 
 func Parallel(workers, n int, fn func(i int)) {}
+
+// Pool and Job shim the persistent work-stealing pool.
+type Pool struct{}
+
+func NewPool(size int) *Pool { return &Pool{} }
+
+func (p *Pool) Close() {}
+
+func (p *Pool) Parallel(workers, n int, fn func(i int)) {}
+
+func (p *Pool) Submit(workers, n int, fn func(i int)) *Job { return &Job{} }
+
+type Job struct{}
+
+func (j *Job) Wait() {}

@@ -81,3 +81,36 @@ func (a *admission) admit() {
 	a.cond.Wait()
 	a.planMu.Unlock()
 }
+
+// Fixtures for the work-stealing pool: a pool fan-out, a submission,
+// or a Job.Wait under the plan mutex all couple the locked region to
+// the pool's progress — submit before locking or after unlocking.
+type repairPlanner struct {
+	mu   sync.Mutex
+	pool *engine.Pool
+}
+
+func (r *repairPlanner) fanOutUnderLock(n int) {
+	r.mu.Lock()
+	r.pool.Parallel(2, n, func(i int) {}) // want "while the plan mutex is held"
+	r.mu.Unlock()
+}
+
+func (r *repairPlanner) submitUnderLock(n int) *engine.Job {
+	r.mu.Lock()
+	j := r.pool.Submit(2, n, func(i int) {}) // want "while the plan mutex is held"
+	r.mu.Unlock()
+	return j
+}
+
+func (r *repairPlanner) waitUnderLock(j *engine.Job) {
+	r.mu.Lock()
+	j.Wait() // want "while the plan mutex is held"
+	r.mu.Unlock()
+}
+
+func (r *repairPlanner) submitThenWaitAfterUnlock(n int) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.pool.Submit(2, n, func(i int) {}).Wait()
+}

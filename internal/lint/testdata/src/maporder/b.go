@@ -1,0 +1,63 @@
+package maporder
+
+import "sort"
+
+// Fixtures for iterator-composition code (the streaming candidate
+// pipeline): a lazy stream built over a map range bakes map order
+// into every yield, and the nondeterminism escapes to every consumer
+// of the stream. Collect-then-sort inside the closure is the fix —
+// the stream stays lazy per consumer pull, the order becomes stable.
+
+// stream is the fixture's iter.Seq[string] stand-in.
+type stream func(yield func(string) bool)
+
+// keyStream yields bucket keys straight out of a map range.
+func keyStream(buckets map[string][]int) stream {
+	return func(yield func(string) bool) {
+		var ks []string
+		for k := range buckets {
+			ks = append(ks, k) // want "map order is nondeterministic"
+		}
+		for _, k := range ks {
+			if !yield(k) {
+				return
+			}
+		}
+	}
+}
+
+// keyStreamSorted collects and sorts before yielding: clean.
+func keyStreamSorted(buckets map[string][]int) stream {
+	return func(yield func(string) bool) {
+		var ks []string
+		for k := range buckets {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			if !yield(k) {
+				return
+			}
+		}
+	}
+}
+
+// memberStream memoizes bucket member lists in a map but only ever
+// looks entries up by key — no range, nothing to flag.
+func memberStream(lookup func(string) []int, keys []string) stream {
+	members := make(map[string][]int)
+	return func(yield func(string) bool) {
+		for _, k := range keys {
+			ms, ok := members[k]
+			if !ok {
+				ms = lookup(k)
+				members[k] = ms
+			}
+			for range ms {
+				if !yield(k) {
+					return
+				}
+			}
+		}
+	}
+}

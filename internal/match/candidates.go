@@ -1,6 +1,8 @@
 package match
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"graphkeys/internal/engine"
@@ -110,7 +112,10 @@ func (m *Matcher) IndexableType(t graph.TypeID) bool {
 // ValueEq and anchor-free keys. The result is sorted for determinism.
 func (m *Matcher) CandidatesIndexed() []eqrel.Pair {
 	var out []eqrel.Pair
-	seen := make(map[eqrel.Pair]bool)
+	// The dedup map only serves radius-d bucket joins (radius-1 and
+	// sweep types emit each pair exactly once); allocate it when the
+	// first radius-d type actually needs it.
+	var seen map[eqrel.Pair]bool
 	for _, t := range m.KeyedTypes() {
 		if !m.hasMatchableKey(t) {
 			continue // no key can fire; no candidate can be identified
@@ -127,6 +132,9 @@ func (m *Matcher) CandidatesIndexed() []eqrel.Pair {
 		if m.dByType[t] <= 1 {
 			out = m.appendIndexedRadius1(out, t)
 		} else {
+			if seen == nil {
+				seen = make(map[eqrel.Pair]bool)
+			}
 			out = m.appendIndexedRadiusD(out, t, seen)
 		}
 	}
@@ -174,24 +182,71 @@ func (m *Matcher) appendIndexedRadius1(out []eqrel.Pair, t graph.TypeID) []eqrel
 // anchor's predicate, so those posting lists merge-union first. An
 // empty result means no pair (e, q) can be directly identified by this
 // key.
+//
+// The join is planned greedily, statistics-free ("When Greedy Beats
+// Optimal", PAPERS.md): constant anchors check first — a binary-search
+// membership probe is the cheapest possible rejection — then anchors
+// intersect cheapest-first by total posting-list length, so the
+// accumulator shrinks as fast as the available lists allow before the
+// expensive merges run. Intersection commutes and the reject
+// conditions are order-independent, so the result is exactly the
+// pattern-order join's.
 func (m *Matcher) radius1KeyPartners(ck *CompiledKey, e graph.NodeID) []graph.NodeID {
-	var acc []graph.NodeID
-	for ai, a := range ck.xAnchors {
-		var lst []graph.NodeID
+	if len(ck.xAnchors) == 0 {
+		return nil
+	}
+	ob := globalObs.Load()
+	// Phase 1: membership-probe every constant anchor before pulling
+	// any value-variable posting list — a miss rejects e outright.
+	for _, a := range ck.xAnchors {
+		if a.constID == graph.NoNode {
+			continue
+		}
+		if ob != nil {
+			ob.PostingsScanned.Inc()
+		}
+		if !containsSorted(m.G.ValueSubjects(a.pred, a.constID), e) {
+			return nil // e lacks the constant attribute itself
+		}
+	}
+	// Phase 2: gather each anchor's posting lists (unmerged) and its
+	// total length as the greedy cost estimate.
+	type anchorJoin struct {
+		lists [][]graph.NodeID
+		cost  int
+	}
+	joins := make([]anchorJoin, 0, len(ck.xAnchors))
+	for _, a := range ck.xAnchors {
+		var j anchorJoin
 		if a.constID != graph.NoNode {
-			lst = m.G.ValueSubjects(a.pred, a.constID)
-			if !containsSorted(lst, e) {
-				return nil // e lacks the constant attribute itself
-			}
+			lst := m.G.ValueSubjects(a.pred, a.constID)
+			j.lists = append(j.lists, lst)
+			j.cost = len(lst)
 		} else {
 			for _, edge := range m.G.Out(e) {
 				if edge.Pred != a.pred || !m.G.IsValue(edge.To) {
 					continue
 				}
-				lst = mergeUnion(lst, m.G.ValueSubjects(edge.Pred, edge.To))
+				if ob != nil {
+					ob.PostingsScanned.Inc()
+				}
+				lst := m.G.ValueSubjects(edge.Pred, edge.To)
+				j.lists = append(j.lists, lst)
+				j.cost += len(lst)
 			}
 		}
-		if ai == 0 {
+		if j.cost == 0 {
+			return nil // anchor admits no subject at all
+		}
+		joins = append(joins, j)
+	}
+	// Phase 3: intersect cheapest-first. Each anchor's own lists
+	// union smallest-first for the same reason.
+	slices.SortStableFunc(joins, func(a, b anchorJoin) int { return a.cost - b.cost })
+	var acc []graph.NodeID
+	for ji, j := range joins {
+		lst := foldUnion(j.lists)
+		if ji == 0 {
 			acc = lst
 		} else {
 			acc = mergeIntersect(acc, lst)
@@ -199,6 +254,19 @@ func (m *Matcher) radius1KeyPartners(ck *CompiledKey, e graph.NodeID) []graph.No
 		if len(acc) == 0 {
 			return nil
 		}
+	}
+	return acc
+}
+
+// foldUnion merge-unions the sorted lists smallest-first (cheapest
+// merges run while the accumulator is small; union commutes, so the
+// fold order never changes the result). The lists slice is reordered
+// in place; the lists themselves are never mutated.
+func foldUnion(lists [][]graph.NodeID) []graph.NodeID {
+	slices.SortStableFunc(lists, func(a, b []graph.NodeID) int { return len(a) - len(b) })
+	var acc []graph.NodeID
+	for _, l := range lists {
+		acc = mergeUnion(acc, l)
 	}
 	return acc
 }
@@ -288,60 +356,16 @@ func (m *Matcher) appendIndexedRadiusD(out []eqrel.Pair, t graph.TypeID, seen ma
 }
 
 // ValuePartners returns the candidate partners of entity e: the other
-// same-type entities a key on e's type could possibly identify e with.
-// On an indexable type the partners are generated from the inverted
-// value index — for radius 1 by direct posting-list lookups on e's
-// value out-edges, for larger radius by reaching d hops out of each
-// value node in e's d-neighborhood — instead of returning the whole
-// same-type population. The incremental engine (internal/inc) calls
-// this per affected entity when repairing the fixpoint after a delta.
+// same-type entities a key on e's type could possibly identify e with,
+// ascending. On an indexable type the partners are generated from the
+// inverted value index — for radius 1 by direct posting-list lookups
+// on e's value out-edges, for larger radius by reaching d hops out of
+// each value node in e's d-neighborhood — instead of returning the
+// whole same-type population. The incremental engine (internal/inc)
+// calls this per affected entity when repairing the fixpoint after a
+// delta; it is the materialized form of PartnerStream.
 func (m *Matcher) ValuePartners(e graph.NodeID) []graph.NodeID {
-	t := m.G.TypeOf(e)
-	if !m.hasMatchableKey(t) {
-		return nil
-	}
-	if !m.IndexableType(t) {
-		all := m.G.EntitiesOfType(t)
-		out := make([]graph.NodeID, 0, len(all)-1)
-		for _, q := range all {
-			if q != e {
-				out = append(out, q)
-			}
-		}
-		return out
-	}
-	seen := make(map[graph.NodeID]bool)
-	var out []graph.NodeID
-	add := func(q graph.NodeID) {
-		if q == e || seen[q] || !m.G.IsEntity(q) || m.G.TypeOf(q) != t {
-			return
-		}
-		seen[q] = true
-		out = append(out, q)
-	}
-	d := m.dByType[t]
-	if d <= 1 {
-		// Same join as appendIndexedRadius1: per-key anchor
-		// intersection, unioned across keys by merge-join.
-		var partners []graph.NodeID
-		for _, ck := range m.byType[t] {
-			if !ck.Matchable() {
-				continue
-			}
-			partners = mergeUnion(partners, m.radius1KeyPartners(ck, e))
-		}
-		for _, q := range partners {
-			add(q)
-		}
-		return out
-	}
-	m.Neighborhood(e).Each(func(n graph.NodeID) {
-		if !m.G.IsValue(n) {
-			return
-		}
-		m.valueReach(n, d).Each(add)
-	})
-	return out
+	return slices.Collect(m.PartnerStream(e))
 }
 
 // valueReach returns the d-hop neighborhood of a value node, memoized
@@ -366,13 +390,23 @@ func (m *Matcher) valueReach(v graph.NodeID, d int) *graph.NodeSet {
 	return ns
 }
 
+// sortPairs orders a candidate list by (A, B) — the global candidate
+// order every builder and the streaming pipeline agree on. SortFunc
+// monomorphizes over eqrel.Pair, where sort.Slice went through
+// reflect.Swapper on every element move (see BenchmarkSortPairs).
 func sortPairs(ps []eqrel.Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
-		}
-		return ps[i].B < ps[j].B
-	})
+	slices.SortFunc(ps, comparePairs)
+}
+
+// comparePairs compares by (A, B) through one packed uint64: node IDs
+// are non-negative int32, so the lexicographic order survives the
+// pack and the hot comparator is a single branch.
+func comparePairs(a, b eqrel.Pair) int {
+	return cmp.Compare(packPair(a), packPair(b))
+}
+
+func packPair(p eqrel.Pair) uint64 {
+	return uint64(uint32(p.A))<<32 | uint64(uint32(p.B))
 }
 
 // DependencyIndex records, for a fixed candidate list, which candidate

@@ -1,0 +1,47 @@
+package match
+
+import (
+	"sync/atomic"
+
+	"graphkeys/internal/obs"
+)
+
+// Obs is the candidate pipeline's instrument bundle. Candidate
+// generation runs on hot inner loops shared by every engine, so —
+// like internal/engine — the hook is a package-global atomic pointer
+// rather than a Matcher field: uninstrumented processes pay one
+// atomic load per stream construction or join.
+type Obs struct {
+	// CandidatesStreamed counts candidate pairs yielded by the
+	// streaming pipeline (CandidateStream), before the pairing filter.
+	CandidatesStreamed *obs.Counter
+	// CandidatesPruned counts candidates the pairing necessary
+	// condition (§4.2) dropped before any key check ran (FilterStream).
+	CandidatesPruned *obs.Counter
+	// PostingsScanned counts posting lists and value buckets pulled
+	// into candidate joins. Early termination shows up here: a
+	// rejected constant-anchor probe stops the join before the
+	// remaining anchors' postings are pulled.
+	PostingsScanned *obs.Counter
+}
+
+var globalObs atomic.Pointer[Obs]
+
+// SetObs installs (or, with nil, removes) the process-wide candidate
+// pipeline instruments.
+func SetObs(o *Obs) {
+	globalObs.Store(o)
+}
+
+// RegisterObs builds an Obs wired to conventionally named instruments
+// of the registry and installs it. A nil registry installs nothing.
+func RegisterObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	SetObs(&Obs{
+		CandidatesStreamed: r.Counter("match.candidates_streamed", "candidate pairs yielded by the streaming pipeline"),
+		CandidatesPruned:   r.Counter("match.candidates_pruned", "candidates pruned by the pairing filter before any key check"),
+		PostingsScanned:    r.Counter("match.postings_scanned", "posting lists and value buckets pulled into candidate joins"),
+	})
+}

@@ -1,0 +1,43 @@
+package match
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"graphkeys/internal/eqrel"
+)
+
+// BenchmarkSortPairs quantifies the sortPairs satellite fix: the old
+// reflection-based sort.Slice (reflect.Swapper per element move, a
+// closure call per comparison) against the monomorphized
+// slices.SortFunc the builders now use. Run with:
+//
+//	go test -run - -bench BenchmarkSortPairs ./internal/match/
+func BenchmarkSortPairs(b *testing.B) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(42))
+	base := make([]eqrel.Pair, n)
+	for i := range base {
+		base[i] = eqrel.MakePair(rng.Int31n(5000), rng.Int31n(5000))
+	}
+	scratch := make([]eqrel.Pair, n)
+
+	b.Run("sort.Slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			sort.Slice(scratch, func(i, j int) bool {
+				if scratch[i].A != scratch[j].A {
+					return scratch[i].A < scratch[j].A
+				}
+				return scratch[i].B < scratch[j].B
+			})
+		}
+	})
+	b.Run("slices.SortFunc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			sortPairs(scratch)
+		}
+	})
+}

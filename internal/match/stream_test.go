@@ -1,0 +1,234 @@
+package match
+
+import (
+	"fmt"
+	"reflect"
+	"slices"
+	"testing"
+
+	"graphkeys/internal/eqrel"
+	"graphkeys/internal/fixtures"
+	"graphkeys/internal/gen"
+	"graphkeys/internal/graph"
+	"graphkeys/internal/keys"
+	"graphkeys/internal/obs"
+	"graphkeys/internal/testutil"
+)
+
+// streamCase is one workload the streaming pipeline must agree with
+// the materialized candidate builders on.
+type streamCase struct {
+	name string
+	g    *graph.Graph
+	set  *keys.Set
+}
+
+// streamCases sweeps the paper fixtures, every internal/testutil
+// generator configuration (seed plus two churn rounds applied, so the
+// graph carries removals and re-adds), synthetic chains across radii,
+// and both flavored generators.
+func streamCases(t *testing.T) []streamCase {
+	t.Helper()
+	cases := []streamCase{
+		{"music", fixtures.MusicGraph(), fixtures.MusicKeys()},
+		{"company", fixtures.CompanyGraph(), fixtures.CompanyKeys()},
+		{"address", fixtures.AddressGraph(), fixtures.AddressKeys()},
+	}
+	for i, cfg := range []testutil.Config{
+		{Seed: 1},
+		{Seed: 2, Groups: 6, PerGroup: 10, Overlap: 0.5},
+		{Seed: 3, Bands: true},
+		{Seed: 4, Bands: true, EntityChurn: true, Coalesce: true, Overlap: 0.3},
+		{Seed: 5, Groups: 2, PerGroup: 4, Bands: true, EntityChurn: true},
+	} {
+		gn := testutil.New(cfg)
+		g := graph.New()
+		if _, err := g.ApplyDelta(gn.Seed()); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ {
+			for _, d := range gn.Round(round) {
+				if _, err := g.ApplyDelta(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		set, err := keys.ParseString(gn.Keys())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, streamCase{fmt.Sprintf("testutil-%d", i), g, set})
+	}
+	for _, cfg := range []struct{ chain, radius int }{{0, 1}, {1, 1}, {2, 2}, {1, 3}} {
+		c := gen.DefaultSynthetic()
+		c.Chain = cfg.chain
+		c.Radius = cfg.radius
+		w, err := gen.Synthetic(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, streamCase{fmt.Sprintf("synthetic_c%d_d%d", cfg.chain, cfg.radius), w.Graph, w.Keys})
+	}
+	for _, fl := range []struct {
+		name  string
+		build func(gen.FlavorConfig) (*gen.Workload, error)
+	}{{"google", gen.Google}, {"dbpedia", gen.DBpedia}} {
+		w, err := fl.build(gen.FlavorConfig{Seed: 1, Scale: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, streamCase{fl.name, w.Graph, w.Keys})
+	}
+	return cases
+}
+
+// TestCandidateStreamMatchesIndexed is the pipeline's property test:
+// on every workload the collected stream equals CandidatesIndexed
+// elementwise — same pairs, same order — and the filtered stream
+// equals FilterPaired of the same list. (The greedy reorderings only
+// permute commutative unions and intersections, so even the order is
+// preserved, which is stronger than the set equality the chase needs.)
+func TestCandidateStreamMatchesIndexed(t *testing.T) {
+	for _, tc := range streamCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := New(tc.g, tc.set, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := m.CandidatesIndexed()
+			got := slices.Collect(m.CandidateStream())
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("stream diverges from CandidatesIndexed\ngot:  %v\nwant: %v", got, want)
+			}
+			pairedWant := m.FilterPaired(slices.Clone(want))
+			if len(pairedWant) == 0 {
+				pairedWant = nil
+			}
+			pairedGot := slices.Collect(m.FilterStream(m.CandidateStream()))
+			if !reflect.DeepEqual(pairedGot, pairedWant) {
+				t.Fatalf("filtered stream diverges from FilterPaired\ngot:  %v\nwant: %v", pairedGot, pairedWant)
+			}
+		})
+	}
+}
+
+// TestPartnerStreamAgreesWithCandidates: the per-entity stream is the
+// row view of the candidate set — PartnerStream(e) yields exactly the
+// q with {e, q} in CandidatesIndexed, ascending (the partner relation
+// is symmetric: shared anchors and shared buckets look the same from
+// both sides).
+func TestPartnerStreamAgreesWithCandidates(t *testing.T) {
+	for _, tc := range streamCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := New(tc.g, tc.set, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := make(map[graph.NodeID][]graph.NodeID)
+			for _, pr := range m.CandidatesIndexed() {
+				a, b := graph.NodeID(pr.A), graph.NodeID(pr.B)
+				ref[a] = append(ref[a], b)
+				ref[b] = append(ref[b], a)
+			}
+			for _, e32 := range m.KeyedEntities() {
+				e := graph.NodeID(e32)
+				want := ref[e]
+				slices.Sort(want)
+				got := slices.Collect(m.PartnerStream(e))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("PartnerStream(%d) = %v, want %v", e, got, want)
+				}
+			}
+		})
+	}
+}
+
+// withStreamObs installs a fresh instrument bundle for the duration of
+// the test and returns it.
+func withStreamObs(t *testing.T) *Obs {
+	t.Helper()
+	prev := globalObs.Load()
+	t.Cleanup(func() { globalObs.Store(prev) })
+	RegisterObs(obs.NewRegistry())
+	return globalObs.Load()
+}
+
+// TestStreamEarlyTermination: a consumer that stops after the first
+// candidate must stop the joins mid-flight — strictly fewer posting
+// pulls than draining the stream, and exactly one candidate counted.
+func TestStreamEarlyTermination(t *testing.T) {
+	g, set := fixtures.MusicGraph(), fixtures.MusicKeys()
+	m, err := New(g, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := withStreamObs(t)
+	for range m.CandidateStream() {
+	}
+	full := ob.PostingsScanned.Value()
+	streamed := ob.CandidatesStreamed.Value()
+	if streamed < 2 || full < 2 {
+		t.Fatalf("workload too small to observe termination: %d candidates, %d postings", streamed, full)
+	}
+
+	ob = withStreamObs(t)
+	for range m.CandidateStream() {
+		break
+	}
+	if got := ob.CandidatesStreamed.Value(); got != 1 {
+		t.Errorf("after break: %d candidates streamed, want 1", got)
+	}
+	if got := ob.PostingsScanned.Value(); got >= full {
+		t.Errorf("after break: %d postings scanned, full drain takes %d — the stream kept pulling", got, full)
+	}
+}
+
+// TestConstantRejectStopsPostings: the greedy plan probes constant
+// anchors first, so an entity missing the constant rejects after a
+// single posting probe — the value-variable anchor's postings are
+// never pulled.
+func TestConstantRejectStopsPostings(t *testing.T) {
+	g := graph.New()
+	uk := g.AddValue("UK")
+	zip := g.AddValue("2000")
+	a := g.MustAddEntity("a", "street")
+	b := g.MustAddEntity("b", "street")
+	c := g.MustAddEntity("c", "street")
+	for _, e := range []graph.NodeID{a, b} {
+		g.MustAddTriple(e, "nation_of", uk)
+		g.MustAddTriple(e, "zip_code", zip)
+	}
+	// c shares the zip but is not in the UK: the constant probe must
+	// reject it before the zip posting list is pulled.
+	g.MustAddTriple(c, "zip_code", zip)
+	set, err := keys.ParseString("key Q for street {\n    x -zip_code-> code*\n    x -nation_of-> \"UK\"\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ob := withStreamObs(t)
+	if got := slices.Collect(m.PartnerStream(c)); got != nil {
+		t.Fatalf("partners(c) = %v, want none", got)
+	}
+	if got := ob.PostingsScanned.Value(); got != 1 {
+		t.Errorf("rejected entity scanned %d posting lists, want 1 (the constant probe alone)", got)
+	}
+
+	ob = withStreamObs(t)
+	if got := slices.Collect(m.PartnerStream(a)); !reflect.DeepEqual(got, []graph.NodeID{b}) {
+		t.Fatalf("partners(a) = %v, want [b]", got)
+	}
+	if got := ob.PostingsScanned.Value(); got != 2 {
+		t.Errorf("accepted entity scanned %d posting lists, want 2 (constant probe + zip postings)", got)
+	}
+
+	// The pair survives the full pipeline.
+	want := []eqrel.Pair{eqrel.MakePair(int32(a), int32(b))}
+	if got := slices.Collect(m.CandidateStream()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream = %v, want %v", got, want)
+	}
+}

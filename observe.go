@@ -6,6 +6,7 @@ import (
 
 	"graphkeys/internal/engine"
 	"graphkeys/internal/graph"
+	"graphkeys/internal/match"
 	"graphkeys/internal/obs"
 )
 
@@ -141,9 +142,11 @@ func (e *Explanation) Target() Pair { return Pair{A: e.A, B: e.B} }
 
 // registerObs builds the matcher's registry, tracer and per-layer
 // instruments and threads them through the layers the matcher owns.
-// The engine substrate's hook is process-global (engine.Parallel is a
-// free function): when several Matchers coexist, the engine.* metrics
-// land in the most recently constructed one's registry.
+// The engine substrate's and candidate pipeline's hooks are
+// process-global (engine.Parallel and match.CandidateStream run on
+// free functions / hot inner loops): when several Matchers coexist,
+// the engine.* and match.* metrics land in the most recently
+// constructed one's registry.
 func (m *Matcher) registerObs() {
 	m.reg = obs.NewRegistry()
 	m.trace = obs.NewTracer(256)
@@ -152,4 +155,5 @@ func (m *Matcher) registerObs() {
 	m.obBatchSize = m.reg.Histogram("matcher.batch_size", "deltas per ApplyBatch", obs.SizeBuckets())
 	m.g.g.RegisterObs(m.reg)
 	engine.RegisterObs(m.reg)
+	match.RegisterObs(m.reg)
 }
