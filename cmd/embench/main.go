@@ -103,13 +103,15 @@ func main() {
 		{"writepath", func() (*bench.Table, error) {
 			// The write-throughput experiment: a stream of independent
 			// small deltas, per-delta Apply vs batched concurrent
-			// ApplyBatch at 1/2/4 writers.
+			// ApplyBatch at 1/2/4/8 writers, plus the allocating-writer
+			// leg (durable group commit, fresh names per delta) with
+			// plan-retry accounting and phase means in the JSON report.
 			wcfg := cfg
 			nDeltas, batch := 256, 32
 			if *quick {
 				nDeltas, batch = 64, 16
 			}
-			t, rep, err := bench.WritePathExp(bench.SyntheticDS, wcfg, []int{1, 2, 4}, nDeltas, batch)
+			t, rep, err := bench.WritePathExp(bench.SyntheticDS, wcfg, []int{1, 2, 4, 8}, nDeltas, batch)
 			if err != nil {
 				return nil, err
 			}

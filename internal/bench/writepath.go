@@ -3,12 +3,16 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"graphkeys/internal/graph"
 	"graphkeys/internal/inc"
+	"graphkeys/internal/obs"
+	"graphkeys/internal/wal"
 )
 
 // This file benchmarks the planned write path (internal/graph/plan.go)
@@ -50,6 +54,37 @@ type WritePathReport struct {
 	SerialMillis float64        `json:"serial_ms"`
 	SerialPerSec float64        `json:"serial_deltas_per_sec"`
 	Runs         []WritePathRun `json:"runs"`
+	// Alloc is the allocating-writer leg: concurrent writers creating
+	// fresh entities and literals through the durable group-commit
+	// path, the workload the name-level pending-allocation table
+	// unlocks (see internal/graph/plan.go).
+	Alloc []WritePathAllocRun `json:"allocating"`
+}
+
+// WritePathAllocRun is one writer-count measurement of the allocating
+// leg: durable deltas (wal.SyncAlways group commit) that each create
+// an entity and a value literal under fresh names. The 1-writer run is
+// the serialized reference — the PR 5 path conflicted every allocating
+// pair, so its throughput was the 1-writer throughput regardless of
+// writer count.
+type WritePathAllocRun struct {
+	Writers         int     `json:"writers"`
+	Millis          float64 `json:"ms"`
+	DeltasPerSec    float64 `json:"deltas_per_sec"`
+	SpeedupOne      float64 `json:"speedup_vs_1_writer"`
+	Identical       bool    `json:"identical"`
+	ReplayIdentical bool    `json:"replay_identical"`
+	// Retry accounting from the optimistic planner, per run.
+	PlanRetries      int64 `json:"plan_retries"`
+	Replans          int64 `json:"replans"`
+	PlanFallbacks    int64 `json:"plan_fallbacks"`
+	OptimisticPlans  int64 `json:"plans_optimistic"`
+	PendingNameWaits int64 `json:"pending_name_waits"`
+	// PhaseMeansNs splits mean per-delta wall time across the write
+	// path's phases (the same histograms BenchmarkPlanPhases reads):
+	// plan (optimistic pass, no lock), admission wait, plan-mutex hold
+	// (admit + revalidate + log + reserve), lower, commit wait.
+	PhaseMeansNs map[string]float64 `json:"phase_means_ns"`
 }
 
 // JSON renders the report.
@@ -203,5 +238,157 @@ func WritePathExp(ds Dataset, cfg BuildConfig, writers []int, nDeltas, batchSize
 			fmt.Sprintf("%v", run.Identical),
 		})
 	}
+
+	// Allocating-writer leg: same writer counts, durable group commit,
+	// every delta creating fresh names.
+	allocRuns, err := writePathAllocLeg(writers, nDeltas)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Alloc = allocRuns
+	for _, run := range allocRuns {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("alloc-%d", run.Writers), fmt.Sprintf("%.1fms", run.Millis),
+			fmt.Sprintf("%.0f", run.DeltasPerSec), "-",
+			fmt.Sprintf("%.2fx", run.SpeedupOne),
+			fmt.Sprintf("%v", run.Identical && run.ReplayIdentical),
+		})
+	}
 	return table, rep, nil
+}
+
+// writePathAllocDeltas builds nDeltas independent allocating deltas:
+// each creates a fresh entity with a fresh value literal, so any
+// concurrent subset has disjoint name footprints.
+func writePathAllocDeltas(nDeltas int) []*graph.Delta {
+	deltas := make([]*graph.Delta, nDeltas)
+	for i := range deltas {
+		id := fmt.Sprintf("alloc-e%d", i)
+		deltas[i] = (&graph.Delta{}).
+			AddEntity(id, "T").
+			AddValueTriple(id, "score", fmt.Sprintf("alloc-v%d", i))
+	}
+	return deltas
+}
+
+// writePathAllocLeg measures allocating-writer throughput through the
+// durable write path: a fresh graph + WAL (SyncAlways) per run, the
+// delta list partitioned across nw concurrent writers. Before
+// name-level pending-allocation tracking, every allocating pair
+// conflicted in admission, so throughput was writer-count-invariant;
+// now disjoint-name writers plan, reserve, and group-commit
+// concurrently — speedup_vs_1_writer is the measured win over that
+// serialized (PR 5) behavior. Every run checks two identities: the
+// final graph text against the first run's, and a full WAL replay
+// against the live graph.
+func writePathAllocLeg(writers []int, nDeltas int) ([]WritePathAllocRun, error) {
+	deltas := writePathAllocDeltas(nDeltas)
+	finalText := func(g *graph.Graph) (string, error) {
+		var sb strings.Builder
+		if err := g.WriteText(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	}
+
+	var runs []WritePathAllocRun
+	var oneWriter time.Duration
+	var refText string
+	for _, nw := range writers {
+		dir, err := os.MkdirTemp("", "gk-writepath-alloc")
+		if err != nil {
+			return nil, err
+		}
+		run, err := func() (WritePathAllocRun, error) {
+			st, err := wal.Open(dir, wal.SyncAlways)
+			if err != nil {
+				return WritePathAllocRun{}, err
+			}
+			defer st.Close()
+			g := graph.New()
+			reg := obs.NewRegistry()
+			g.RegisterObs(reg)
+			hook := func(ops []graph.DeltaOp) (graph.DeltaCommit, error) {
+				_, commit, err := st.Begin(ops)
+				if err != nil {
+					return nil, err
+				}
+				return graph.DeltaCommit(commit), nil
+			}
+
+			errs := make([]error, nw)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(deltas); i += nw {
+						if _, err := g.ApplyDeltaLogged(deltas[i], hook); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			dur := time.Since(start)
+			for _, err := range errs {
+				if err != nil {
+					return WritePathAllocRun{}, err
+				}
+			}
+
+			live, err := finalText(g)
+			if err != nil {
+				return WritePathAllocRun{}, err
+			}
+			if err := st.Close(); err != nil {
+				return WritePathAllocRun{}, err
+			}
+			rg, _, err := wal.Replay(dir)
+			if err != nil {
+				return WritePathAllocRun{}, err
+			}
+			replayed, err := finalText(rg)
+			if err != nil {
+				return WritePathAllocRun{}, err
+			}
+			if refText == "" {
+				refText = live
+			}
+			if oneWriter == 0 {
+				oneWriter = dur
+			}
+
+			snap := reg.Snapshot()
+			phase := func(name string) float64 { return snap.Histograms[name].Mean() }
+			return WritePathAllocRun{
+				Writers:          nw,
+				Millis:           ms(dur),
+				DeltasPerSec:     float64(len(deltas)) / dur.Seconds(),
+				SpeedupOne:       float64(oneWriter) / float64(dur),
+				Identical:        live == refText,
+				ReplayIdentical:  replayed == live,
+				PlanRetries:      snap.Counters["graph.plan_retries"],
+				Replans:          snap.Counters["graph.plan_retries"] + snap.Counters["graph.plan_fallbacks"],
+				PlanFallbacks:    snap.Counters["graph.plan_fallbacks"],
+				OptimisticPlans:  snap.Counters["graph.plans_optimistic"],
+				PendingNameWaits: snap.Counters["graph.pending_name_waits"],
+				PhaseMeansNs: map[string]float64{
+					"plan":           phase("graph.plan_ns"),
+					"admission_wait": phase("graph.admission_wait_ns"),
+					"plan_hold":      phase("graph.plan_hold_ns"),
+					"lower":          phase("graph.lower_ns"),
+					"commit_wait":    phase("graph.commit_wait_ns"),
+				},
+			}, nil
+		}()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
 }

@@ -43,3 +43,41 @@ func TestWritePathSmoke(t *testing.T) {
 			runtime.GOMAXPROCS(0), runtime.NumCPU(), four.SpeedupSerial)
 	}
 }
+
+// TestWritePathAllocSmoke runs the allocating-writer leg at a small
+// scale: every run must be name-identical to the 1-writer run AND to
+// its own WAL replay (the byte-identity contract of reservation-order
+// allocation), and — on a machine with enough cores — 8 concurrent
+// allocating writers must clear 1.5x over the 1-writer run, which is
+// the serialized throughput the pre-optimistic path pinned every
+// allocating writer to.
+func TestWritePathAllocSmoke(t *testing.T) {
+	runs, err := writePathAllocLeg([]int{1, 8}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eight *WritePathAllocRun
+	for i := range runs {
+		run := &runs[i]
+		if !run.Identical {
+			t.Fatalf("alloc writers=%d: final graph diverged from the 1-writer run", run.Writers)
+		}
+		if !run.ReplayIdentical {
+			t.Fatalf("alloc writers=%d: WAL replay diverged from the live graph", run.Writers)
+		}
+		if run.Writers == 8 {
+			eight = run
+		}
+	}
+	if eight == nil {
+		t.Fatal("no 8-writer run")
+	}
+	if runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("allocating-writer speedup check needs >= 4 CPUs (have GOMAXPROCS=%d, NumCPU=%d); measured %.2fx at 8 writers",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), eight.SpeedupOne)
+	}
+	if eight.SpeedupOne < 1.5 {
+		t.Errorf("8 allocating writers reached %.2fx over the serialized 1-writer path, want >= 1.5x (1-writer %.0f deltas/s, 8-writer %.0f deltas/s)",
+			eight.SpeedupOne, runs[0].DeltasPerSec, eight.DeltasPerSec)
+	}
+}

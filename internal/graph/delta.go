@@ -134,18 +134,18 @@ func (r *DeltaResult) Empty() bool {
 // the entity-level state (creations and removals) op by op. Interning
 // predicates and allocating nodes are deferred to the plan's lowering;
 // validation only needs entity-level checks, which is what makes
-// atomicity possible. Caller holds the plan mutex with the delta's
-// footprint admitted (see plan.go); directory lookups still take the
-// directory read lock because executions over other shards may be
-// retiring unrelated entities concurrently.
-func (g *Graph) validateDelta(d *Delta) error {
+// atomicity possible. With a footprint it runs optimistically — no
+// lock held, every directory resolution recorded so a rejection or an
+// acceptance computed here can be revalidated under the plan mutex;
+// with fp == nil the caller holds the plan mutex with the delta's
+// footprint admitted (see plan.go). The type check needs no epoch: a
+// node's type is immutable for its lifetime, and the footprint pins
+// which node the ID resolved to.
+func (g *Graph) validateDelta(d *Delta, fp *footprint) error {
 	pending := make(map[string]string) // entity IDs added earlier in this delta -> type
 	removed := make(map[string]bool)   // entity IDs removed earlier in this delta
 	lookup := func(id string) (NodeID, bool) {
-		g.dir.mu.RLock()
-		n, ok := g.dir.entByID[id]
-		g.dir.mu.RUnlock()
-		return n, ok
+		return g.fpEnt(fp, id)
 	}
 	entityKnown := func(id string) bool {
 		if removed[id] {

@@ -25,6 +25,7 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -97,6 +98,30 @@ type directory struct {
 	byType   [][]NodeID        // TypeID -> entity nodes of that type
 }
 
+// byTypeInsert records entity n under type t, keeping each per-type
+// list sorted by NodeID. Caller holds dir.mu for writing. Group-commit
+// lowerings can publish entities out of dense-ID order (their commits
+// finish out of order), and EntitiesOfType's iteration order feeds
+// deterministic derivations — sorted insertion makes the list
+// independent of lowering order, identical to a serial replay. The
+// append fast path keeps the common in-order case O(1); the insert
+// path copies, preserving the handed-out-snapshot contract.
+func (d *directory) byTypeInsert(t TypeID, n NodeID) {
+	for int(t) >= len(d.byType) {
+		d.byType = append(d.byType, nil)
+	}
+	ns := d.byType[t]
+	if len(ns) == 0 || ns[len(ns)-1] < n {
+		d.byType[t] = append(ns, n)
+		return
+	}
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= n })
+	out := make([]NodeID, 0, len(ns)+1)
+	out = append(out, ns[:i]...)
+	out = append(out, n)
+	d.byType[t] = append(out, ns[i:]...)
+}
+
 // Graph is an in-memory triple store, shard-partitioned by node ID for
 // concurrent access (see shard.go). The zero value is not usable; call
 // New.
@@ -162,7 +187,9 @@ func (g *Graph) AddEntity(id, typeName string) (NodeID, error) {
 	var exists bool
 	// If the entity exists, an in-flight execution over its shard may
 	// be removing it: admit the shard before trusting the lookup (the
-	// lookup re-runs after every wait).
+	// lookup re-runs after every wait). If the ID is pending — reserved
+	// by a group commit that has not lowered yet — wait for it to
+	// resolve one way or the other rather than double-allocate it.
 	g.admit(func() uint32 {
 		g.dir.mu.RLock()
 		n, exists = g.dir.entByID[id]
@@ -171,6 +198,9 @@ func (g *Graph) AddEntity(id, typeName string) (NodeID, error) {
 			return shardBit(shardIndex(n))
 		}
 		return 0
+	}, func() bool {
+		_, pend := g.pl.pendEnts[id]
+		return !pend
 	})
 	if exists {
 		nd := g.nodeView(n)
@@ -180,16 +210,11 @@ func (g *Graph) AddEntity(id, typeName string) (NodeID, error) {
 		}
 		return n, nil
 	}
-	g.dir.mu.Lock()
-	t := TypeID(g.dir.types.Intern(typeName))
-	g.dir.mu.Unlock()
+	t := g.internType(typeName)
 	n = g.allocNode(node{kind: EntityKind, typ: t, label: id})
 	g.dir.mu.Lock()
 	g.dir.entByID[id] = n
-	for int(t) >= len(g.dir.byType) {
-		g.dir.byType = append(g.dir.byType, nil)
-	}
-	g.dir.byType[t] = append(g.dir.byType[t], n)
+	g.dir.byTypeInsert(t, n)
 	g.dir.mu.Unlock()
 	return n, nil
 }
@@ -214,15 +239,24 @@ func (g *Graph) AddValue(lit string) NodeID {
 
 // addValue is AddValue with the plan mutex held. Values are never
 // removed, so an existing literal needs no admission; a new one only
-// touches its fresh slot, which no in-flight execution can reference.
+// touches its fresh slot, which no in-flight execution can reference —
+// unless the literal is pending (reserved by a group commit that has
+// not lowered yet), in which case wait for the reservation to resolve
+// rather than double-allocate it.
 func (g *Graph) addValue(lit string) NodeID {
-	g.dir.mu.RLock()
-	n, ok := g.dir.valByLit[lit]
-	g.dir.mu.RUnlock()
-	if ok {
-		return n
+	for {
+		g.dir.mu.RLock()
+		n, ok := g.dir.valByLit[lit]
+		g.dir.mu.RUnlock()
+		if ok {
+			return n
+		}
+		if _, pend := g.pl.pendVals[lit]; !pend {
+			break
+		}
+		g.pl.cond.Wait()
 	}
-	n = g.allocNode(node{kind: ValueKind, label: lit})
+	n := g.allocNode(node{kind: ValueKind, label: lit})
 	g.dir.mu.Lock()
 	g.dir.valByLit[lit] = n
 	g.dir.mu.Unlock()
@@ -249,19 +283,19 @@ func (g *Graph) addTriple(s NodeID, pred string, o NodeID) error {
 	if snd.kind != EntityKind || snd.dead {
 		return fmt.Errorf("graph: triple subject %q is not a live entity", snd.label)
 	}
-	g.dir.mu.Lock()
-	p := PredID(g.dir.preds.Intern(pred))
-	g.dir.mu.Unlock()
+	p := g.internPred(pred)
 	k := tripleKey{s, p, o}
 	if _, dup := ssh.triples[k]; dup {
 		return nil
 	}
 	okind := osh.nodes[localIndex(o)].kind
 	ssh.mu.Lock()
+	ssh.epoch.Add(1)
 	ssh.triples[k] = struct{}{}
 	ssh.out[localIndex(s)] = append(ssh.out[localIndex(s)], Edge{Pred: p, To: o})
 	ssh.mu.Unlock()
 	osh.mu.Lock()
+	osh.epoch.Add(1)
 	osh.in[localIndex(o)] = append(osh.in[localIndex(o)], Edge{Pred: p, To: s})
 	if okind == ValueKind {
 		postInsert(osh, p, o, s)
@@ -301,12 +335,14 @@ func (g *Graph) removeTripleID(s NodeID, p PredID, o NodeID) bool {
 		return false
 	}
 	ssh.mu.Lock()
+	ssh.epoch.Add(1)
 	delete(ssh.triples, k)
 	ssh.out[localIndex(s)] = removeOne(ssh.out[localIndex(s)], Edge{Pred: p, To: o})
 	ssh.mu.Unlock()
 	osh := g.shardOf(o)
 	okind := osh.nodes[localIndex(o)].kind
 	osh.mu.Lock()
+	osh.epoch.Add(1)
 	osh.in[localIndex(o)] = removeOne(osh.in[localIndex(o)], Edge{Pred: p, To: s})
 	if okind == ValueKind {
 		postRemove(osh, p, o, s)

@@ -27,6 +27,25 @@ type Obs struct {
 	// deltas whose ops coalesced away.
 	Deltas     *obs.Counter
 	NoopDeltas *obs.Counter
+
+	// Phase wall-time split of the optimistic write path (see plan.go):
+	// PlanNanos is one optimistic planning pass (validate + coalesce +
+	// lower-prep, no lock held); LowerNanos is the off-mutex lowering of
+	// a group-commit delta; CommitNanos is the durability (group fsync)
+	// wait. Admission + revalidation time is AdmissionWait + PlanHold.
+	PlanNanos   *obs.Histogram
+	LowerNanos  *obs.Histogram
+	CommitNanos *obs.Histogram
+	// PlanRetries counts optimistic plans discarded by a stale footprint
+	// or a failed revalidation; PlanFallbacks counts deltas that
+	// exhausted their replans (or needed a rejection confirmed) and took
+	// the pessimistic path; OptimisticPlans counts plans that admitted
+	// by revalidation. PendingNameWaits counts admissions that blocked
+	// on another delta's pending name reservation.
+	PlanRetries      *obs.Counter
+	PlanFallbacks    *obs.Counter
+	OptimisticPlans  *obs.Counter
+	PendingNameWaits *obs.Counter
 }
 
 // Nil-safe field access, so instrumentation sites read handles off a
@@ -42,6 +61,15 @@ func (o *Obs) shardLockWait() *obs.Histogram {
 }
 func (o *Obs) postingLen() *obs.Histogram {
 	return histOf(o, func(o *Obs) *obs.Histogram { return o.PostingLen })
+}
+func (o *Obs) planNanos() *obs.Histogram {
+	return histOf(o, func(o *Obs) *obs.Histogram { return o.PlanNanos })
+}
+func (o *Obs) lowerNanos() *obs.Histogram {
+	return histOf(o, func(o *Obs) *obs.Histogram { return o.LowerNanos })
+}
+func (o *Obs) commitNanos() *obs.Histogram {
+	return histOf(o, func(o *Obs) *obs.Histogram { return o.CommitNanos })
 }
 
 func histOf(o *Obs, f func(*Obs) *obs.Histogram) *obs.Histogram {
@@ -72,6 +100,26 @@ func (o *Obs) noopDeltas() *obs.Counter {
 	return o.NoopDeltas
 }
 
+func ctrOf(o *Obs, f func(*Obs) *obs.Counter) *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return f(o)
+}
+
+func (o *Obs) planRetries() *obs.Counter {
+	return ctrOf(o, func(o *Obs) *obs.Counter { return o.PlanRetries })
+}
+func (o *Obs) planFallbacks() *obs.Counter {
+	return ctrOf(o, func(o *Obs) *obs.Counter { return o.PlanFallbacks })
+}
+func (o *Obs) optimisticPlans() *obs.Counter {
+	return ctrOf(o, func(o *Obs) *obs.Counter { return o.OptimisticPlans })
+}
+func (o *Obs) pendingNameWaits() *obs.Counter {
+	return ctrOf(o, func(o *Obs) *obs.Counter { return o.PendingNameWaits })
+}
+
 // SetObserver installs (or, with nil, removes) the write path's
 // instruments. Safe to call concurrently with writers; in-flight
 // deltas may record against the previous observer.
@@ -93,5 +141,13 @@ func (g *Graph) RegisterObs(r *obs.Registry) {
 		PostingLen:     r.Histogram("graph.posting_len", "value-index posting list length after insert", obs.SizeBuckets()),
 		Deltas:         r.Counter("graph.deltas", "deltas that mutated the graph"),
 		NoopDeltas:     r.Counter("graph.deltas_noop", "deltas whose ops coalesced to nothing"),
+
+		PlanNanos:        r.Histogram("graph.plan_ns", "one optimistic planning pass (no lock held)", obs.DurationBuckets()),
+		LowerNanos:       r.Histogram("graph.lower_ns", "off-mutex lowering of a group-commit delta", obs.DurationBuckets()),
+		CommitNanos:      r.Histogram("graph.commit_wait_ns", "durability (group fsync) wait per delta", obs.DurationBuckets()),
+		PlanRetries:      r.Counter("graph.plan_retries", "optimistic plans discarded by stale footprint or failed revalidation"),
+		PlanFallbacks:    r.Counter("graph.plan_fallbacks", "deltas that fell back to the pessimistic plan path"),
+		OptimisticPlans:  r.Counter("graph.plans_optimistic", "deltas admitted by footprint revalidation"),
+		PendingNameWaits: r.Counter("graph.pending_name_waits", "admissions that blocked on a pending name reservation"),
 	})
 }

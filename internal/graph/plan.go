@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"graphkeys/internal/engine"
 )
@@ -18,19 +19,35 @@ import (
 //
 // # Phases
 //
-// Planning runs under the graph's single plan mutex and is short: it
-// reads, never restructures. It (1) waits for admission — no in-flight
-// execution may overlap the delta's shard footprint, so every read the
-// plan depends on (triple presence, adjacency, the directory entries of
-// referenced entities) is stable; (2) validates the delta exactly as
-// before (entity-level simulation, atomic reject); (3) coalesces the
-// ops into their net effect — duplicate adds collapse, add/remove pairs
-// of the same triple cancel, RemoveEntity expands over the entity's
-// incident triples — producing the normalized op list that is also the
-// WAL record; (4) allocates the surviving new nodes and directory
-// entries (serialized by the plan mutex, so dense IDs stay
-// deterministic in plan order) and lowers the net ops into per-shard
-// micro-ops.
+// Planning is OPTIMISTIC: validation, coalescing, and every presence/
+// adjacency read-decision run with no lock held at all, against the
+// live shards — each directory resolution and each shard read is
+// recorded in a read footprint (name -> node, shard -> epoch; see
+// footprint below). The plan mutex is then taken only to admit and
+// revalidate: admission waits until no in-flight execution overlaps the
+// plan's shard footprint and none of the names it resolved as absent
+// has a pending reservation; revalidation re-checks the recorded
+// resolutions and shard epochs. A hit means every read the plan was
+// built from still holds — the plan is exactly what a plan made under
+// the mutex would produce — so the short mutex hold shrinks to a
+// handful of map lookups and epoch compares. A miss discards the plan
+// and replans (bounded retries, then the pessimistic fallback: plan
+// under the mutex with the footprint admitted first, exactly the old
+// write path).
+//
+// # Allocation: name-level reservation
+//
+// A delta that creates nodes reserves them under the plan mutex before
+// releasing it for the durability wait: dead (invisible) slots appended
+// in plan order, plus pending-name entries mapping the not-yet-lowered
+// names to their reserved IDs. Two allocating writers therefore
+// conflict only when they allocate (or resolved-as-absent read) the
+// SAME name — not, as the old allocation-range mask had it, whenever
+// both allocate anything — so allocating writers group-commit and
+// execute concurrently. Reservation order is plan order is WAL log
+// order, which is what keeps node IDs deterministic under replay; a
+// reservation whose commit fails stays a dead hole no name resolves
+// to (the name-level text format renders it invisibly).
 //
 // Execution takes no global lock at all: the plan's shard footprint is
 // registered as an in-flight mask, the plan mutex is released, and the
@@ -40,15 +57,17 @@ import (
 // footprints are disjoint run fully concurrently; writers that overlap
 // serialize through admission in plan order.
 //
-// # Why presence is decided at plan time
+// # Why revalidated presence decisions are safe
 //
 // Admission excludes any concurrent execution over the plan's shards,
-// and planning is serialized, so the triple-presence and adjacency
-// reads made while planning cannot go stale before the plan executes.
-// That is what lets the executor be purely mechanical (no re-checks, no
-// failure paths) and lets the normalized record be exact: replaying it
-// against the same pre-state reproduces the same post-state, byte for
-// byte.
+// legacy mutators hold the plan mutex for their whole write, and every
+// shard mutation bumps that shard's epoch under its write lock — so a
+// revalidation pass proves the plan's reads never went stale, and they
+// cannot go stale afterwards: the flight mask covers every shard the
+// reads depended on until execution retires it. That is what lets the
+// executor stay purely mechanical (no re-checks, no failure paths) and
+// the normalized record stay exact: replaying it against the same
+// pre-state reproduces the same post-state, byte for byte.
 
 // DeltaLog receives the normalized (net-effect) op list of a planned
 // delta before it is applied, while plan order is still held — records
@@ -61,18 +80,24 @@ import (
 // before any mutation, so concurrent planners overlap their fsyncs
 // (the WAL's group commit — one fsync covers every record buffered
 // while the leader flushed). If the commit errors the delta aborts
-// with the graph untouched. A nil commit means the hook already made
-// the record durable (or does not need to): the delta then lowers and
-// executes inside the same plan-mutex hold, exactly the pre-group-
-// commit write path.
+// with the graph untouched at name level (reserved slots stay dead
+// holes). A nil commit means the hook already made the record durable
+// (or does not need to): the delta then lowers and executes inside the
+// same plan-mutex hold, exactly the pre-group-commit write path.
 type DeltaLog func(norm []DeltaOp) (DeltaCommit, error)
 
 // DeltaCommit blocks until the logged record is durable per the log's
 // policy, reporting the flush error if it is not.
 type DeltaCommit func() error
 
+// maxReplans bounds how many times a delta replans after a failed
+// revalidation before falling back to the pessimistic path, so a
+// writer on a hot shard makes progress instead of chasing epochs.
+const maxReplans = 3
+
 // planner is the admission state of the write path: which shard
-// footprints are currently executing, and which planners are waiting.
+// footprints are currently executing, which planners are waiting, and
+// which names are reserved by group commits that have not lowered yet.
 type planner struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -90,40 +115,40 @@ type planner struct {
 	waitQ      []int64
 	nextTicket int64
 
-	// Lowering sequencer for the group-commit path: a delta that
-	// releases the plan mutex for its durability wait reserves a
-	// lowering slot first (nextLower), and lowers only when every
-	// earlier slot has resolved (lowered catches up). Slot order is
-	// plan order is WAL order, so node allocation — which happens at
-	// lowering — stays deterministic in log order even though the
-	// durability waits overlap; that is what keeps replay
-	// byte-identical. pendingAlloc counts the node allocations of
-	// reserved-but-not-yet-lowered plans, so deltaMask can cover the
-	// allocation range of a new planner no matter how the slots ahead
-	// of it resolve.
-	nextLower    int64
-	lowered      int64
-	pendingAlloc int
+	// Pending-name tables for the group-commit path: names whose nodes
+	// are reserved (IDs assigned, slots dead) but not yet lowered into
+	// the directory. A planner whose footprint resolved one of these
+	// names as absent must wait — proceeding would either double-
+	// allocate the name or commit a record planned against a state the
+	// log already contradicts. Entries are removed (and cond broadcast)
+	// when the owning delta lowers or aborts. Entity IDs and value
+	// literals are separate namespaces, hence two tables.
+	pendEnts map[string]NodeID
+	pendVals map[string]NodeID
 }
 
 func (g *Graph) initPlanner() {
 	g.pl.cond = sync.NewCond(&g.pl.mu)
 	g.pl.flights = make(map[int64]uint32)
+	g.pl.pendEnts = make(map[string]NodeID)
+	g.pl.pendVals = make(map[string]NodeID)
 }
 
 func shardBit(i int) uint32 { return 1 << uint(i) }
 
 // admit blocks, with pl.mu held, until maskFn's footprint is clear of
-// every in-flight execution AND this planner is not behind an earlier
-// waiter. maskFn is re-evaluated after every wake-up (name resolutions
-// shift while waiting); its final value is returned. Fast path: with
-// no in-flight conflict and no waiters, admit never blocks.
-func (g *Graph) admit(maskFn func() uint32) uint32 {
+// every in-flight execution, free (when non-nil) reports no pending-
+// name conflict, AND this planner is not behind an earlier waiter.
+// maskFn and free are re-evaluated after every wake-up (name
+// resolutions shift while waiting); the final mask is returned. Fast
+// path: with no conflict and no waiters, admit never blocks.
+func (g *Graph) admit(maskFn func() uint32, free func() bool) uint32 {
 	queued := false
 	var ticket int64
 	for {
 		mask := maskFn()
-		if g.pl.union&mask == 0 && (len(g.pl.waitQ) == 0 || (queued && g.pl.waitQ[0] == ticket)) {
+		if g.pl.union&mask == 0 && (free == nil || free()) &&
+			(len(g.pl.waitQ) == 0 || (queued && g.pl.waitQ[0] == ticket)) {
 			if queued {
 				g.pl.waitQ = g.pl.waitQ[1:]
 				// The next waiter may be admissible right now.
@@ -144,7 +169,7 @@ func (g *Graph) admit(maskFn func() uint32) uint32 {
 // waitMask is admit for a footprint that cannot shift while waiting
 // (shards derived from node IDs, which are stable).
 func (g *Graph) waitMask(mask uint32) {
-	g.admit(func() uint32 { return mask })
+	g.admit(func() uint32 { return mask }, nil)
 }
 
 // registerFlight marks mask as executing and returns its token.
@@ -171,6 +196,256 @@ func (g *Graph) completeFlight(tok int64) {
 	g.pl.mu.Unlock()
 }
 
+// footprint records every read an optimistic plan depended on, so the
+// whole plan can be revalidated in O(reads) under the plan mutex:
+//
+//   - ents/vals pin the directory resolutions (NoNode = resolved as
+//     absent). A name whose resolution changed — appeared, vanished, or
+//     re-resolved to a different node — invalidates the plan.
+//   - epochs pins the first-observed mutation epoch of every shard a
+//     presence or adjacency read touched. Any mutation of that shard
+//     since bumps the epoch and invalidates the plan.
+//   - mask accumulates the shard bits of every resolved node plus the
+//     neighborhoods of removed entities: the admission footprint.
+//
+// stale flips when two reads of the same shard observed different
+// epochs mid-plan: the plan is internally inconsistent and is
+// discarded without even attempting admission.
+type footprint struct {
+	ents   map[string]NodeID
+	vals   map[string]NodeID
+	epochs map[int]uint64
+	mask   uint32
+	stale  bool
+}
+
+func newFootprint() *footprint {
+	return &footprint{
+		ents:   make(map[string]NodeID),
+		vals:   make(map[string]NodeID),
+		epochs: make(map[int]uint64),
+	}
+}
+
+// observe records a shard epoch, flagging the footprint stale if the
+// shard was read before at a different epoch.
+func (fp *footprint) observe(si int, e uint64) {
+	if prev, ok := fp.epochs[si]; ok {
+		if prev != e {
+			fp.stale = true
+		}
+		return
+	}
+	fp.epochs[si] = e
+}
+
+// fpEnt resolves an external entity ID against the directory, recording
+// the resolution (and the node's shard) in the footprint when one is
+// supplied. With fp == nil it is a plain directory lookup — the
+// pessimistic path, which reads under the plan mutex with its footprint
+// admitted and needs no recording.
+func (g *Graph) fpEnt(fp *footprint, id string) (NodeID, bool) {
+	if fp != nil {
+		if n, ok := fp.ents[id]; ok {
+			return n, n != NoNode
+		}
+	}
+	g.dir.mu.RLock()
+	n, ok := g.dir.entByID[id]
+	g.dir.mu.RUnlock()
+	if !ok {
+		n = NoNode
+	}
+	if fp != nil {
+		fp.ents[id] = n
+		if ok {
+			fp.mask |= shardBit(shardIndex(n))
+		}
+	}
+	return n, ok
+}
+
+// fpVal is fpEnt for value literals.
+func (g *Graph) fpVal(fp *footprint, lit string) (NodeID, bool) {
+	if fp != nil {
+		if n, ok := fp.vals[lit]; ok {
+			return n, n != NoNode
+		}
+	}
+	g.dir.mu.RLock()
+	n, ok := g.dir.valByLit[lit]
+	g.dir.mu.RUnlock()
+	if !ok {
+		n = NoNode
+	}
+	if fp != nil {
+		fp.vals[lit] = n
+		if ok {
+			fp.mask |= shardBit(shardIndex(n))
+		}
+	}
+	return n, ok
+}
+
+// fpPresent reports whether the triple (s, pred, o) is in G, recording
+// the subject shard's epoch. The epoch is read twice, around the
+// predicate resolution (which lives in the directory's lock domain, not
+// the shard's): if a writer interned the predicate and flipped the
+// triple between the two reads, the epochs differ and the plan is
+// flagged stale — without the double read, a presence probe on the
+// predicate-missing branch could record a post-mutation epoch for a
+// pre-mutation answer and revalidate a wrong plan.
+func (g *Graph) fpPresent(fp *footprint, s NodeID, pred string, o NodeID) bool {
+	if fp == nil {
+		pid, ok := g.PredByName(pred)
+		return ok && g.HasTriple(s, pid, o)
+	}
+	sh := g.shardOf(s)
+	sh.mu.RLock()
+	e1 := sh.epoch.Load()
+	sh.mu.RUnlock()
+	pid, ok := g.PredByName(pred)
+	var present bool
+	sh.mu.RLock()
+	e2 := sh.epoch.Load()
+	if ok {
+		_, present = sh.triples[tripleKey{s, pid, o}]
+	}
+	sh.mu.RUnlock()
+	if e1 != e2 {
+		fp.stale = true
+	}
+	fp.observe(shardIndex(s), e1)
+	return present
+}
+
+// fpEdges reads n's adjacency (for RemoveEntity expansion), recording
+// n's shard epoch and widening the footprint mask over the neighbors —
+// the removal writes their shards too.
+func (g *Graph) fpEdges(fp *footprint, n NodeID) (out, in []Edge) {
+	if fp == nil {
+		out, in = g.edges(n)
+	} else {
+		sh := g.shardOf(n)
+		l := localIndex(n)
+		sh.mu.RLock()
+		e := sh.epoch.Load()
+		out, in = sh.out[l], sh.in[l]
+		sh.mu.RUnlock()
+		fp.observe(shardIndex(n), e)
+	}
+	if fp != nil {
+		for _, ed := range out {
+			fp.mask |= shardBit(shardIndex(ed.To))
+		}
+		for _, ed := range in {
+			fp.mask |= shardBit(shardIndex(ed.To))
+		}
+	}
+	return out, in
+}
+
+// revalidate reports whether every read the footprint recorded still
+// holds. Caller holds pl.mu with the footprint's mask admitted and its
+// absent names free of pending reservations: a pass here means the
+// optimistic plan is exactly what a plan made under the mutex would
+// decide now, and nothing can invalidate it before its flight retires
+// (the mask covers every shard the reads depended on, legacy mutators
+// hold the plan mutex, and concurrent lowerings write only shards of
+// their own disjoint flights).
+func (g *Graph) revalidate(fp *footprint) bool {
+	if fp.stale {
+		return false
+	}
+	g.dir.mu.RLock()
+	ok := true
+	for id, n := range fp.ents {
+		cur, found := g.dir.entByID[id]
+		if !found {
+			cur = NoNode
+		}
+		if cur != n {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for lit, n := range fp.vals {
+			cur, found := g.dir.valByLit[lit]
+			if !found {
+				cur = NoNode
+			}
+			if cur != n {
+				ok = false
+				break
+			}
+		}
+	}
+	g.dir.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	for si, e := range fp.epochs {
+		if g.shards[si].epoch.Load() != e {
+			return false
+		}
+	}
+	return true
+}
+
+// namesFree reports whether none of the names the footprint resolved
+// as absent carries a pending reservation. Caller holds pl.mu.
+func (g *Graph) namesFree(fp *footprint) bool {
+	for id, n := range fp.ents {
+		if n == NoNode {
+			if _, pend := g.pl.pendEnts[id]; pend {
+				return false
+			}
+		}
+	}
+	for lit, n := range fp.vals {
+		if n == NoNode {
+			if _, pend := g.pl.pendVals[lit]; pend {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// deltaNamesFree is namesFree for the pessimistic path, which has no
+// footprint yet: it conservatively checks every name the delta
+// mentions. Caller holds pl.mu.
+func (g *Graph) deltaNamesFree(d *Delta) bool {
+	if len(g.pl.pendEnts) == 0 && len(g.pl.pendVals) == 0 {
+		return true
+	}
+	pendEnt := func(id string) bool {
+		_, ok := g.pl.pendEnts[id]
+		return ok
+	}
+	for _, op := range d.ops {
+		switch op.Kind {
+		case OpAddEntity, OpRemoveEntity:
+			if pendEnt(op.ID) {
+				return false
+			}
+		case OpAddTriple, OpRemoveTriple:
+			if pendEnt(op.Subject) {
+				return false
+			}
+			if op.ObjectIsValue {
+				if _, ok := g.pl.pendVals[op.Object]; ok {
+					return false
+				}
+			} else if pendEnt(op.Object) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // planRef names a node during planning: a concrete NodeID for nodes
 // that exist, or a pending allocation for nodes the delta creates.
 // Distinct incarnations of the same external ID (remove + re-add in one
@@ -181,13 +456,17 @@ type planRef struct {
 }
 
 // pendNode is a node the delta will create if its incarnation survives
-// coalescing. n is assigned at allocation time.
+// coalescing. n is assigned at reservation (group-commit path) or
+// lowering (inline path); published flips when the directory entry for
+// a value node lands.
 type pendNode struct {
-	kind     Kind
-	label    string
-	typeName string
-	live     bool
-	n        NodeID
+	kind      Kind
+	label     string
+	typeName  string
+	typ       TypeID // interned at reservation (group-commit path)
+	live      bool
+	published bool
+	n         NodeID
 }
 
 // tKey identifies one logical triple during planning, at whatever
@@ -239,6 +518,11 @@ type planned struct {
 	emit      []emitItem
 	result    DeltaResult
 	tripDelta int64
+	// nAlloc is how many nodes the plan allocates (see allocCount);
+	// reserved flips once those slots are reserved, switching the
+	// lowering from allocate-and-publish to flip-and-publish.
+	nAlloc   int
+	reserved bool
 	// pids memoizes predicate name -> interned ID across the plan's
 	// lowering, so a high-degree RemoveEntity resolves each distinct
 	// predicate once instead of once per incident triple.
@@ -265,29 +549,143 @@ func (g *Graph) ApplyDelta(d *Delta) (*DeltaResult, error) {
 // ApplyDeltaLogged is ApplyDelta with a write-ahead hook: log (when
 // non-nil) receives the normalized op list after validation and
 // coalescing but before any mutation, in plan order. If log (or the
-// durability commit it returns) errors, the delta is aborted and the
-// graph left untouched. Deltas that coalesce to a no-op are not
-// logged.
+// durability commit it returns) errors, the delta is aborted; a commit
+// failure can leave reserved dead slots behind (holes in the dense ID
+// space no name resolves to), but never a name, a triple, or any state
+// a reader or a replay can observe. Deltas that coalesce to a no-op
+// are not logged.
 //
-// When the hook returns a DeltaCommit, the durability wait runs with
-// the plan mutex RELEASED: the delta's conservative shard footprint is
-// registered as in-flight first (so overlapping planners wait exactly
-// as they would for an executing delta) and a lowering slot is
-// reserved (so allocation order stays plan order); disjoint planners
-// keep planning and buffering their own records meanwhile, and one
-// group fsync covers them all.
+// The delta is planned optimistically (no lock) and the plan admitted
+// by footprint revalidation; see the file comment. When the hook
+// returns a DeltaCommit, the durability wait runs with the plan mutex
+// RELEASED: the plan's nodes are reserved and its exact shard
+// footprint registered as in-flight first, so disjoint planners —
+// including other allocating ones — keep planning and buffering their
+// own records meanwhile, and one group fsync covers them all.
 func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 	ob := g.ob.Load()
+	for attempt := 0; attempt <= maxReplans; attempt++ {
+		fp := newFootprint()
+		tPlan := ob.planNanos().Start()
+		verr := g.validateDelta(d, fp)
+		var p *planned
+		if verr == nil {
+			p = g.planDelta(d, fp)
+		}
+		ob.planNanos().ObserveSince(tPlan)
+		if verr != nil {
+			if fp.stale {
+				// The rejection may be an artifact of torn reads.
+				ob.planRetries().Inc()
+				continue
+			}
+			// Plausible rejection — but computed from unvalidated reads,
+			// so confirm it under the mutex before reporting (a
+			// concurrent delta may have created the entity this one
+			// failed to find).
+			break
+		}
+		if fp.stale {
+			ob.planRetries().Inc()
+			continue
+		}
+		res, ok, err := g.runOptimistic(p, fp, log, ob)
+		if ok {
+			return res, err
+		}
+		ob.planRetries().Inc()
+	}
+	ob.planFallbacks().Inc()
+	return g.applyPessimistic(d, log, ob)
+}
+
+// runOptimistic admits and revalidates an optimistic plan and, on a
+// hit, drives the delta to completion. ok = false means revalidation
+// missed and the caller should replan.
+func (g *Graph) runOptimistic(p *planned, fp *footprint, log DeltaLog, ob *Obs) (res *DeltaResult, ok bool, err error) {
+	namesWaited := false
 	tAdmit := ob.admissionWait().Start()
 	g.pl.mu.Lock()
-	admitted := g.admit(func() uint32 { return g.deltaMask(d) })
+	// The admission mask: every shard the footprint touched, plus the
+	// exact shards of the nodes this plan will reserve — [nNodes,
+	// nNodes+nAlloc) is exact under pl.mu, because reservation is
+	// serialized by it. Re-evaluated per wake-up: the base shifts as
+	// other planners reserve.
+	mask := g.admit(func() uint32 {
+		m := fp.mask
+		base := int(g.nNodes.Load())
+		k := p.nAlloc
+		if k > ShardCount {
+			k = ShardCount
+		}
+		for i := 0; i < k; i++ {
+			m |= shardBit(shardIndex(NodeID(base + i)))
+		}
+		return m
+	}, func() bool {
+		if g.namesFree(fp) {
+			return true
+		}
+		namesWaited = true
+		return false
+	})
+	ob.admissionWait().ObserveSince(tAdmit)
+	if namesWaited {
+		ob.pendingNameWaits().Inc()
+	}
+	if !g.revalidate(fp) {
+		g.pl.mu.Unlock()
+		return nil, false, nil
+	}
+	ob.optimisticPlans().Inc()
+	tHold := ob.planHold().Start()
+	if len(p.norm) == 0 {
+		g.pl.mu.Unlock()
+		ob.noopDeltas().Inc()
+		return &p.result, true, nil
+	}
+	var commit DeltaCommit
+	if log != nil {
+		c, lerr := log(p.norm)
+		if lerr != nil {
+			g.pl.mu.Unlock()
+			return nil, true, fmt.Errorf("graph: delta log: %w", lerr)
+		}
+		commit = c
+	}
+	if commit == nil {
+		// No durability wait: lower and fly inside this plan-mutex
+		// hold, the classic write path.
+		g.lowerPlanned(p)
+		tok := g.registerFlight(p.mask)
+		g.pl.mu.Unlock()
+		ob.planHold().ObserveSince(tHold)
+		g.executePlanned(p)
+		g.completeFlight(tok)
+		ob.deltas().Inc()
+		return &p.result, true, nil
+	}
+	res, err = g.commitReserved(p, mask, commit, ob, tHold)
+	return res, true, err
+}
+
+// applyPessimistic is the fallback write path after replans are
+// exhausted (or a validation rejection needs confirming): plan under
+// the plan mutex with the delta's conservative footprint admitted
+// first, exactly the pre-optimistic path. It shares the reservation
+// machinery for the group-commit case, so allocation order stays plan
+// order either way.
+func (g *Graph) applyPessimistic(d *Delta, log DeltaLog, ob *Obs) (*DeltaResult, error) {
+	tAdmit := ob.admissionWait().Start()
+	g.pl.mu.Lock()
+	admitted := g.admit(func() uint32 { return g.deltaMask(d) }, func() bool { return g.deltaNamesFree(d) })
 	ob.admissionWait().ObserveSince(tAdmit)
 	tHold := ob.planHold().Start()
-	if err := g.validateDelta(d); err != nil {
+	if err := g.validateDelta(d, nil); err != nil {
 		g.pl.mu.Unlock()
 		return nil, err
 	}
-	p := g.planDelta(d)
+	p := g.planDelta(d, nil)
 	if len(p.norm) == 0 {
 		g.pl.mu.Unlock()
 		ob.noopDeltas().Inc()
@@ -303,8 +701,6 @@ func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 		commit = c
 	}
 	if commit == nil {
-		// No durability wait: lower and fly inside this plan-mutex
-		// hold, the classic write path.
 		g.lowerPlanned(p)
 		tok := g.registerFlight(p.mask)
 		g.pl.mu.Unlock()
@@ -314,45 +710,95 @@ func (g *Graph) ApplyDeltaLogged(d *Delta, log DeltaLog) (*DeltaResult, error) {
 		ob.deltas().Inc()
 		return &p.result, nil
 	}
-	// Group-commit path. The flight must cover lowering as well as
-	// execution, and the plan's exact mask is only known after
-	// lowering — so the admitted (conservative, superset) mask flies.
-	alloc := p.allocCount()
-	ticket := g.pl.nextLower
-	g.pl.nextLower++
-	g.pl.pendingAlloc += alloc
-	tok := g.registerFlight(admitted)
+	return g.commitReserved(p, admitted, commit, ob, tHold)
+}
+
+// commitReserved drives a group-commit delta from the log hook to
+// completion: reserve the plan's nodes and names, register the flight,
+// release the plan mutex (which the CALLER locked — this is the tail
+// of both admission paths), overlap the durability wait with other
+// planners, then lower and execute. mask must cover every shard the
+// plan can touch, including the reserved slots'.
+func (g *Graph) commitReserved(p *planned, mask uint32, commit DeltaCommit, ob *Obs, tHold time.Time) (*DeltaResult, error) {
+	g.reservePlanned(p)
+	tok := g.registerFlight(mask)
 	g.pl.mu.Unlock()
 	ob.planHold().ObserveSince(tHold)
 
+	tCommit := ob.commitNanos().Start()
 	cerr := commit()
-
-	g.pl.mu.Lock()
-	for g.pl.lowered != ticket {
-		g.pl.cond.Wait()
-	}
-	if cerr == nil {
-		g.lowerPlanned(p)
-	}
-	g.pl.lowered++
-	g.pl.pendingAlloc -= alloc
-	g.pl.cond.Broadcast()
-	g.pl.mu.Unlock()
+	ob.commitNanos().ObserveSince(tCommit)
 	if cerr != nil {
+		// The reserved slots stay dead holes (no name resolves to
+		// them; see reserveNode). Release the names so blocked
+		// allocators of the same names proceed.
+		g.pl.mu.Lock()
+		g.unreservePlanned(p)
+		g.pl.mu.Unlock()
 		g.completeFlight(tok)
 		return nil, fmt.Errorf("graph: delta log: %w", cerr)
 	}
+	tLower := ob.lowerNanos().Start()
+	g.lowerPlanned(p)
+	ob.lowerNanos().ObserveSince(tLower)
+	// Only now — with the directory entries published — may the
+	// pending-name entries go: a waiter that wakes re-resolves the
+	// name and finds it.
+	g.pl.mu.Lock()
+	g.unreservePlanned(p)
+	g.pl.mu.Unlock()
 	g.executePlanned(p)
 	g.completeFlight(tok)
 	ob.deltas().Inc()
 	return &p.result, nil
 }
 
+// reservePlanned reserves the plan's allocations: dead node slots
+// appended in exactly the order lowering will need them (entity
+// creations at their eAlloc, value literals at the first surviving
+// triple that references them — the same order the inline path
+// allocates in), plus the pending-name entries that keep other
+// planners off the names until lowering publishes them. Caller holds
+// pl.mu; reservation order is plan order is log order.
+func (g *Graph) reservePlanned(p *planned) {
+	for _, it := range p.emit {
+		switch it.kind {
+		case eAlloc:
+			it.pend.typ = g.internType(it.pend.typeName)
+			it.pend.n = g.reserveNode(node{kind: EntityKind, typ: it.pend.typ, label: it.pend.label})
+			g.pl.pendEnts[it.pend.label] = it.pend.n
+		case eAddTriple:
+			if pn := it.key.o.pend; pn != nil && pn.kind == ValueKind && pn.n == NoNode {
+				pn.n = g.reserveNode(node{kind: ValueKind, label: pn.label})
+				g.pl.pendVals[pn.label] = pn.n
+			}
+		}
+	}
+	p.reserved = true
+}
+
+// unreservePlanned drops the plan's pending-name entries and wakes
+// planners blocked on them. Caller holds pl.mu. Each name has exactly
+// one owner (namesFree admits no second reservation), so the deletes
+// cannot clobber another delta's entries.
+func (g *Graph) unreservePlanned(p *planned) {
+	for _, it := range p.emit {
+		switch it.kind {
+		case eAlloc:
+			delete(g.pl.pendEnts, it.pend.label)
+		case eAddTriple:
+			if pn := it.key.o.pend; pn != nil && pn.kind == ValueKind && pn.n != NoNode {
+				delete(g.pl.pendVals, pn.label)
+			}
+		}
+	}
+	g.pl.cond.Broadcast()
+}
+
 // allocCount reports exactly how many nodes lowering this plan will
 // allocate: one per surviving entity creation, one per distinct new
-// value literal a surviving triple addition interns. The lowering
-// sequencer uses it to keep deltaMask's allocation-range cover exact
-// while slots ahead are still unresolved.
+// value literal a surviving triple addition interns. The admission
+// mask covers exactly that many tentative slots.
 func (p *planned) allocCount() int {
 	n := 0
 	var seen map[*pendNode]bool
@@ -376,11 +822,14 @@ func (p *planned) allocCount() int {
 }
 
 // deltaMask conservatively over-approximates the shard footprint of the
-// delta against the current directory: the shards of every node the
-// delta references, the shards of the neighbors of every entity it
-// removes, and the shards of every node it could allocate (tentative
-// dense IDs are exact because allocation is serialized under the plan
-// mutex). Caller holds pl.mu; the mask must be recomputed after every
+// delta against the current directory, for the pessimistic path (which
+// must admit before planning): the shards of every node the delta
+// references, the shards of the neighbors of every entity it removes,
+// and the shards of every node it could allocate (tentative dense IDs
+// are exact because allocation is serialized under the plan mutex —
+// and in-flight reservations already hold their own slots' bits in
+// their flight masks, so no cross-delta allocation cover is needed).
+// Caller holds pl.mu; the mask must be recomputed after every
 // admission wait, since resolutions shift while waiting.
 func (g *Graph) deltaMask(d *Delta) uint32 {
 	var mask uint32
@@ -431,16 +880,7 @@ func (g *Graph) deltaMask(d *Delta) uint32 {
 			}
 		}
 	}
-	// The allocation range starts wherever the node table stands when
-	// THIS plan lowers. Slots reserved ahead of us may each allocate
-	// (shifting our base up by their count) or abort (leaving it) — so
-	// an allocating delta covers the whole span from the current table
-	// end through every pending allocation plus its own tentative
-	// ones. (A delta that allocates nothing needs no cover at all.)
 	base := int(g.nNodes.Load())
-	if tentative > 0 {
-		tentative += g.pl.pendingAlloc
-	}
 	if tentative > ShardCount {
 		tentative = ShardCount
 	}
@@ -450,10 +890,12 @@ func (g *Graph) deltaMask(d *Delta) uint32 {
 	return mask
 }
 
-// planDelta coalesces a validated delta into its net effect. Caller
-// holds pl.mu with the delta's footprint admitted, so every read is
-// stable. No mutation happens here.
-func (g *Graph) planDelta(d *Delta) *planned {
+// planDelta coalesces a validated delta into its net effect. With a
+// footprint it runs optimistically — no lock held, every read
+// recorded for revalidation; with fp == nil the caller holds pl.mu
+// with the delta's footprint admitted, so every read is stable. No
+// mutation happens in either mode.
+func (g *Graph) planDelta(d *Delta, fp *footprint) *planned {
 	type entState struct {
 		ref  planRef
 		live bool
@@ -465,9 +907,7 @@ func (g *Graph) planDelta(d *Delta) *planned {
 		if st, ok := ents[id]; ok {
 			return st
 		}
-		g.dir.mu.RLock()
-		n, ok := g.dir.entByID[id]
-		g.dir.mu.RUnlock()
+		n, ok := g.fpEnt(fp, id)
 		st := entState{ref: planRef{n: NoNode}}
 		if ok {
 			st = entState{ref: planRef{n: n}, live: true}
@@ -479,9 +919,7 @@ func (g *Graph) planDelta(d *Delta) *planned {
 		if r, ok := vals[lit]; ok {
 			return r, true
 		}
-		g.dir.mu.RLock()
-		v, ok := g.dir.valByLit[lit]
-		g.dir.mu.RUnlock()
+		v, ok := g.fpVal(fp, lit)
 		if ok {
 			r := planRef{n: v}
 			vals[lit] = r
@@ -498,11 +936,7 @@ func (g *Graph) planDelta(d *Delta) *planned {
 		if k.s.pend != nil || k.o.pend != nil {
 			return false
 		}
-		pid, ok := g.PredByName(k.pred)
-		if !ok {
-			return false
-		}
-		return g.HasTriple(k.s.n, pid, k.o.n)
+		return g.fpPresent(fp, k.s.n, k.pred, k.o.n)
 	}
 	stateOf := func(k tKey) *tState {
 		if ts, ok := trips[k]; ok {
@@ -565,7 +999,7 @@ func (g *Graph) planDelta(d *Delta) *planned {
 			removedAt[i] = n
 			// Expand over the pre-delta incident triples (out then in;
 			// a self-loop dedups through the state map)…
-			out, in := g.edges(n)
+			out, in := g.fpEdges(fp, n)
 			for _, e := range out {
 				k := tKey{s: planRef{n: n}, pred: pname(e.Pred), o: planRef{n: e.To}}
 				if ts := stateOf(k); ts.current {
@@ -654,6 +1088,7 @@ func (g *Graph) planDelta(d *Delta) *planned {
 			}
 		}
 	}
+	p.nAlloc = p.allocCount()
 	return p
 }
 
@@ -674,12 +1109,15 @@ const (
 	eRemTriple
 )
 
-// lowerPlanned allocates the plan's surviving nodes, interns its
-// predicate names, and lowers the emission list into per-shard
-// micro-ops and the DeltaResult. Caller holds pl.mu; this is the only
-// part of planning that mutates (allocation and interning only — the
-// delta is committed from here on, which is why it runs after the
-// write-ahead log hook).
+// lowerPlanned resolves the plan's surviving nodes — allocating them
+// inline, or flipping live the slots reservePlanned put down —
+// publishes their directory entries, interns its predicate names, and
+// lowers the emission list into per-shard micro-ops and the
+// DeltaResult. The inline (unreserved) mode runs under pl.mu, which is
+// what serializes its allocations; the reserved mode runs with NO plan
+// mutex, concurrently with other lowerings — its IDs are fixed and its
+// shards flight-covered, and the directory lock serializes the
+// publications themselves.
 func (g *Graph) lowerPlanned(p *planned) {
 	shardOpAdd := func(si int, op shardOp) {
 		p.perShard[si] = append(p.perShard[si], op)
@@ -688,19 +1126,17 @@ func (g *Graph) lowerPlanned(p *planned) {
 	for _, it := range p.emit {
 		switch it.kind {
 		case eAlloc:
-			g.dir.mu.Lock()
-			t := TypeID(g.dir.types.Intern(it.pend.typeName))
-			g.dir.mu.Unlock()
-			n := g.allocNode(node{kind: EntityKind, typ: t, label: it.pend.label})
-			it.pend.n = n
-			g.dir.mu.Lock()
-			g.dir.entByID[it.pend.label] = n
-			for int(t) >= len(g.dir.byType) {
-				g.dir.byType = append(g.dir.byType, nil)
+			if p.reserved {
+				g.flipNode(it.pend.n)
+			} else {
+				it.pend.typ = g.internType(it.pend.typeName)
+				it.pend.n = g.allocNode(node{kind: EntityKind, typ: it.pend.typ, label: it.pend.label})
 			}
-			g.dir.byType[t] = append(g.dir.byType[t], n)
+			g.dir.mu.Lock()
+			g.dir.entByID[it.pend.label] = it.pend.n
+			g.dir.byTypeInsert(it.pend.typ, it.pend.n)
 			g.dir.mu.Unlock()
-			p.result.AddedEntities = append(p.result.AddedEntities, n)
+			p.result.AddedEntities = append(p.result.AddedEntities, it.pend.n)
 		case eTombstone:
 			for _, k := range it.keys {
 				g.lowerTriple(p, k, false, shardOpAdd)
@@ -737,9 +1173,7 @@ func (g *Graph) lowerTriple(p *planned, k tKey, add bool, emit func(int, shardOp
 	pid, cached := p.pids[k.pred]
 	if !cached {
 		if add {
-			g.dir.mu.Lock()
-			pid = PredID(g.dir.preds.Intern(k.pred))
-			g.dir.mu.Unlock()
+			pid = g.internPred(k.pred)
 		} else {
 			pid, _ = g.PredByName(k.pred)
 		}
@@ -748,11 +1182,16 @@ func (g *Graph) lowerTriple(p *planned, k tKey, add bool, emit func(int, shardOp
 	var o NodeID
 	oIsValue := false
 	if k.o.pend != nil {
-		if k.o.pend.n == NoNode && k.o.pend.kind == ValueKind {
-			k.o.pend.n = g.allocNode(node{kind: ValueKind, label: k.o.pend.label})
+		if pn := k.o.pend; pn.kind == ValueKind && !pn.published {
+			if pn.n == NoNode {
+				pn.n = g.allocNode(node{kind: ValueKind, label: pn.label})
+			} else {
+				g.flipNode(pn.n) // reserved slot
+			}
 			g.dir.mu.Lock()
-			g.dir.valByLit[k.o.pend.label] = k.o.pend.n
+			g.dir.valByLit[pn.label] = pn.n
 			g.dir.mu.Unlock()
+			pn.published = true
 		}
 		o = k.o.pend.n
 		oIsValue = k.o.pend.kind == ValueKind
@@ -804,6 +1243,9 @@ func (g *Graph) executePlanned(p *planned) {
 // applyShardOps runs one shard's micro-ops under its write lock. Every
 // slice mutation keeps the handed-out-snapshot contract: removals copy
 // (removeOne / postRemove), insertions append or copy (postInsert).
+// The shard's epoch is bumped in the same critical section, so any
+// optimistic footprint that read this shard before the mutation fails
+// its revalidation.
 func (g *Graph) applyShardOps(si int, ops []shardOp) {
 	sh := &g.shards[si]
 	ob := g.ob.Load()
@@ -812,6 +1254,7 @@ func (g *Graph) applyShardOps(si int, ops []shardOp) {
 	ob.shardLockWait().ObserveSince(tLock)
 	ob.shardMutations().At(si).Add(int64(len(ops)))
 	defer sh.mu.Unlock()
+	sh.epoch.Add(1)
 	for _, op := range ops {
 		switch op.kind {
 		case sAddKey:

@@ -201,11 +201,22 @@ func TestApplyDeltaLogAbort(t *testing.T) {
 	if err := g.WriteText(&after); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(before.Bytes(), after.Bytes()) || g.NumNodes() != nodes {
+	// The commit-time abort may leave reserved dead slots behind (holes
+	// in the dense ID space — see reserveNode), so NumNodes can grow;
+	// what the contract guarantees is that nothing observable at name
+	// level changed: no entity, no value, no triple, byte-identical
+	// text.
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
 		t.Fatal("aborted delta mutated the graph")
+	}
+	if g.NumNodes() < nodes {
+		t.Fatal("aborted delta shrank the node space")
 	}
 	if _, ok := g.Entity("c"); ok {
 		t.Fatal("aborted delta created its entity")
+	}
+	if _, ok := g.Value("9"); ok {
+		t.Fatal("aborted delta published its value literal")
 	}
 }
 

@@ -1,6 +1,9 @@
 package graph
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file holds the shard layout of the store. The graph is
 // partitioned by node ID into a fixed number of shards: node n lives in
@@ -56,6 +59,16 @@ type shard struct {
 	// post holds the value-index posting lists whose value node is in
 	// this shard, each sorted by subject NodeID.
 	post map[postKey][]NodeID
+	// epoch counts data mutations of the shard's existing slots:
+	// triple/adjacency/posting changes and tombstones, bumped under the
+	// shard write lock in the same critical section as the mutation.
+	// Appending a fresh slot (allocNode, reserveNode) does NOT bump it —
+	// a slot nothing references yet cannot invalidate a read. The
+	// optimistic planner (plan.go) records the epoch of every shard a
+	// read-decision depended on and revalidates the set under the plan
+	// mutex; loads outside the shard lock are fine because any mutation
+	// since the recorded read must have bumped the counter.
+	epoch atomic.Uint64
 }
 
 // shardIndex returns the shard holding node n.
@@ -106,4 +119,29 @@ func (g *Graph) allocNode(nd node) NodeID {
 	sh.mu.Unlock()
 	g.nNodes.Store(int32(id + 1))
 	return id
+}
+
+// reserveNode appends nd as a dead (invisible) slot and returns its
+// dense ID. Caller holds the plan mutex, so reservation order is plan
+// order — which is what keeps node IDs deterministic in WAL log order
+// even though the group-commit lowerings that make the slots live may
+// finish out of order. The slot carries its final record (kind, type,
+// label) from the start; lowering only flips dead off. A reservation
+// whose delta later aborts (failed group fsync) stays dead forever: a
+// hole in the dense ID space that no name resolves to, which the
+// name-level text format renders invisibly.
+func (g *Graph) reserveNode(nd node) NodeID {
+	nd.dead = true
+	return g.allocNode(nd)
+}
+
+// flipNode makes a reserved slot live. Runs at lowering, off the plan
+// mutex; the slot's shard is covered by the delta's flight mask, and
+// nothing resolves to the ID until the directory publishes it right
+// after this.
+func (g *Graph) flipNode(n NodeID) {
+	sh := g.shardOf(n)
+	sh.mu.Lock()
+	sh.nodes[localIndex(n)].dead = false
+	sh.mu.Unlock()
 }

@@ -2,12 +2,13 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
 
 // LockContract encodes the write path's locking discipline
-// (internal/graph/plan.go, internal/graph/shard.go) as three rules:
+// (internal/graph/plan.go, internal/graph/shard.go) as four rules:
 //
 //  1. No blocking call while the plan mutex is held. Planning is the
 //     global serialization point of the write path; an fsync, a
@@ -29,9 +30,18 @@ import (
 //     (internal/graph via internal/inc and the public Matcher). A
 //     direct mutation call from an engine bypasses planning, WAL
 //     logging and incremental repair at once.
+//
+//  4. The optimistic-plan contract. Optimistic planning exists to move
+//     footprint recording OFF the plan mutex: a call that records
+//     reads into a footprint (a method on the footprint type, or an
+//     fpXxx-named read helper) under the plan mutex re-serializes the
+//     expensive half of planning and defeats the design. Dually,
+//     revalidation exists to be the admission check: a revalidate call
+//     made while the plan mutex is NOT held proves nothing, because
+//     the reads it confirms can go stale before the plan admits.
 var LockContract = &Analyzer{
 	Name: "lockcontract",
-	Doc:  "no blocking calls under the plan mutex; shard internals only under the shard lock; engines stay read-only",
+	Doc:  "no blocking calls under the plan mutex; shard internals only under the shard lock; engines stay read-only; footprints recorded off the plan mutex, revalidated under it",
 	Run:  runLockContract,
 }
 
@@ -81,6 +91,7 @@ func runLockContract(pass *Pass) error {
 				continue
 			}
 			checkPlanMutexRegions(pass, fd.Body)
+			checkOptimisticContract(pass, fd)
 			if inGraph {
 				checkShardGuards(pass, fd)
 			}
@@ -310,6 +321,11 @@ func checkShardGuards(pass *Pass, fd *ast.FuncDecl) {
 		if !isShardType(pass, s.Recv()) {
 			return true
 		}
+		// Fields of sync/atomic type are self-synchronizing: the
+		// optimistic planner's epoch loads are lock-free by design.
+		if n := namedOf(s.Type()); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic" {
+			return true
+		}
 		if root := rootIdent(sel.X); root != nil {
 			if obj := pass.TypesInfo.ObjectOf(root); obj != nil && paramShards[obj] {
 				return true
@@ -319,6 +335,97 @@ func checkShardGuards(pass *Pass, fd *ast.FuncDecl) {
 		pass.Reportf(sel.Pos(),
 			"access to shard internals (%s) without taking the shard lock: lock sh.mu, or take the *shard as a parameter if the caller holds it", exprText(sel))
 		return false
+	})
+}
+
+// ---- rule 4: footprints off the plan mutex, revalidation under it ----
+
+// posInterval is a source region in which the plan mutex is held.
+type posInterval struct{ start, end token.Pos }
+
+// planLockedIntervals computes the plan-mutex-held regions of a
+// function body positionally: from each plan-mutex Lock to the first
+// matching top-level Unlock in the same block, or to the block's end
+// when the unlock is deferred or happens in a branch. Branch-local
+// early unlocks therefore stay inside the interval: conservative for
+// the recording check (more code counts as locked), and exact for the
+// revalidation check wherever each block Locks at most once, which is
+// the write path's discipline.
+func planLockedIntervals(pass *Pass, body *ast.BlockStmt) []posInterval {
+	var ivs []posInterval
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			recv, ok := lockCall(stmt, "Lock")
+			if !ok || !planMutexRecv(pass, recv) {
+				continue
+			}
+			end := block.End()
+			for _, later := range block.List[i+1:] {
+				if r, ok := lockCall(later, "Unlock"); ok && exprText(r) == exprText(recv) {
+					end = later.Pos()
+					break
+				}
+			}
+			ivs = append(ivs, posInterval{start: stmt.End(), end: end})
+		}
+		return true
+	})
+	return ivs
+}
+
+// fpHelperName reports whether name follows the fpXxx convention of
+// the footprint-recording read helpers (fpEnt, fpVal, fpPresent,
+// fpEdges, ...).
+func fpHelperName(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "fp") &&
+		name[2] >= 'A' && name[2] <= 'Z'
+}
+
+func checkOptimisticContract(pass *Pass, fd *ast.FuncDecl) {
+	ivs := planLockedIntervals(pass, fd.Body)
+	inside := func(p token.Pos) bool {
+		for _, iv := range ivs {
+			if p >= iv.start && p < iv.end {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		default:
+			return true
+		}
+		recorder := fpHelperName(name)
+		if !recorder {
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+				if r := recvNamed(fn); r != nil && r.Obj().Name() == "footprint" {
+					recorder = true
+				}
+			}
+		}
+		if recorder && inside(call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"footprint recording (%s) under the plan mutex: optimistic planning reads and records OFF the mutex; only revalidate under it (see internal/graph/plan.go)", name)
+		}
+		if name == "revalidate" && !inside(call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"revalidation outside the plan mutex: a footprint revalidated without the plan mutex held can go stale before admission; take the plan mutex first (see internal/graph/plan.go)")
+		}
+		return true
 	})
 }
 

@@ -8,8 +8,11 @@
 // A record stores the delta at name level (external entity IDs, value
 // literals, predicate names), so replaying the records in log order
 // against the snapshot graph reconstructs the store byte-identically:
-// normalized records are exact net effects, and allocation order is
-// plan order, which is log order.
+// normalized records are exact net effects, and node IDs are assigned
+// at reservation, under the plan mutex, in the same order the records
+// enter the log — so even though concurrent group-commit deltas may
+// lower out of order, reservation order is plan order is log order,
+// and a sequential replay allocates identically.
 //
 // The snapshot carries the graph in the canonical text format plus the
 // matcher's identified pairs at the snapshot point; the pairs let an
