@@ -4,7 +4,11 @@
 // the corresponding panel and one algorithm, so `go test -bench=.`
 // produces the full series. cmd/embench prints the same experiments as
 // formatted tables; EXPERIMENTS.md records paper-vs-measured shapes.
-package graphkeys
+//
+// This is an external test package (graphkeys_test): internal/bench
+// imports graphkeys (the serve experiment drives the public Matcher
+// over HTTP), so an in-package test file importing bench would cycle.
+package graphkeys_test
 
 import (
 	"fmt"

@@ -23,13 +23,12 @@ import (
 	"strings"
 
 	"graphkeys/internal/bench"
-	"graphkeys/internal/engine"
 	"graphkeys/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations | parallelchase | writepath | repair | groupcommit | obsoverhead | candidates")
+		exp     = flag.String("exp", "all", "experiment: all | fig8a..fig8l | table2 | ablations | parallelchase | writepath | repair | groupcommit | obsoverhead | candidates | serve")
 		quick   = flag.Bool("quick", false, "smoke-sized datasets")
 		csv     = flag.Bool("csv", false, "CSV output")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
@@ -234,6 +233,31 @@ func main() {
 			}
 			return t, nil
 		}},
+		{"serve", func() (*bench.Table, error) {
+			// The serving layer: latency percentiles and QPS per
+			// endpoint while concurrent readers and /apply writers share
+			// one matcher over real HTTP; CI publishes the report as
+			// BENCH_serve.json.
+			nSeed, nOps, readers, writers := 2000, 64, 4, 2
+			if *quick {
+				nSeed, nOps, readers, writers = 500, 16, 2, 1
+			}
+			t, rep, err := bench.ServeExp(nSeed, nOps, readers, writers)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonOut != "" {
+				data, err := rep.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "embench: wrote %s\n", *jsonOut)
+			}
+			return t, nil
+		}},
 		{"obsoverhead", func() (*bench.Table, error) {
 			// The instrumentation budget: bare vs fully instrumented
 			// write-path and repair runs; CI publishes the report as
@@ -282,18 +306,16 @@ func main() {
 }
 
 // serveMetrics starts a background HTTP server on addr exposing pprof
-// (/debug/pprof/) plus the engine substrate's instruments (worker
-// utilization, fan-out counts) in Prometheus text at /metrics and
-// JSON at /vars. Matcher-based experiments rebind the process-global
-// engine hook to their own registry while they run, so the engine.*
-// series here covers the direct-engine experiments. No-op when addr
-// is empty.
+// (/debug/pprof/) plus an empty registry at /metrics//vars. The
+// substrate's instruments are per-owner handles now (each experiment
+// wires its own registry), so there is no process-global engine.*
+// series to publish here — the endpoint remains for pprof and as a
+// liveness probe. No-op when addr is empty.
 func serveMetrics(addr string) {
 	if addr == "" {
 		return
 	}
 	reg := obs.NewRegistry()
-	engine.RegisterObs(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(reg, nil))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -8,6 +8,7 @@ import (
 
 	"graphkeys/internal/engine"
 	"graphkeys/internal/inc"
+	"graphkeys/internal/match"
 	"graphkeys/internal/obs"
 )
 
@@ -43,8 +44,8 @@ func (r *ObsOverheadReport) JSON() ([]byte, error) {
 
 // obsOverheadWorkload runs the workload once and reports its wall
 // time. instrumented wires every layer's instruments into a fresh
-// registry; bare leaves every hook nil (and detaches the process-
-// global engine hook, so a prior instrumented run can't leak in).
+// registry; bare leaves every hook nil — the handles are threaded
+// per-run (no process globals), so runs can't leak into each other.
 func obsOverheadWorkload(ds Dataset, cfg BuildConfig, p int, merged bool, nDeltas int, instrumented bool) (time.Duration, error) {
 	w, err := Build(ds, cfg)
 	if err != nil {
@@ -55,11 +56,10 @@ func obsOverheadWorkload(ds Dataset, cfg BuildConfig, p int, merged bool, nDelta
 	if instrumented {
 		reg := obs.NewRegistry()
 		w.Graph.RegisterObs(reg)
-		engine.RegisterObs(reg)
+		opts.Match.Obs = match.NewObs(reg)
+		opts.Match.Eng = engine.NewObs(reg)
 		opts.Obs = inc.RegisterObs(reg)
 		opts.Trace = obs.NewTracer(256)
-	} else {
-		engine.SetObs(nil)
 	}
 	e, err := inc.New(w.Graph, w.Keys, opts)
 	if err != nil {

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"graphkeys"
+	"graphkeys/internal/serve"
+)
+
+// This file measures the serving layer (internal/serve): client-side
+// latency percentiles and sustained QPS per endpoint while point reads
+// and asynchronous writes share one Matcher. The point of the
+// experiment is the concurrency claim behind the service — readers on
+// the RLock path must keep serving at low latency while /apply streams
+// mutations through the Writer's coalescing batcher.
+
+// ServeEndpointStats is one endpoint's client-observed latency profile.
+type ServeEndpointStats struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50Micro float64 `json:"p50_us"`
+	P99Micro float64 `json:"p99_us"`
+	MaxMicro float64 `json:"max_us"`
+}
+
+// ServeReport is the machine-readable outcome (BENCH_serve.json in CI).
+type ServeReport struct {
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	Entities    int                  `json:"seed_entities"`
+	Readers     int                  `json:"readers"`
+	Writers     int                  `json:"writers"`
+	WallMillis  float64              `json:"wall_ms"`
+	TotalQPS    float64              `json:"total_qps"`
+	FinalSeq    uint64               `json:"final_seq"`
+	FinalPairs  int                  `json:"final_pairs"`
+	Endpoints   []ServeEndpointStats `json:"endpoints"`
+	EventsSeen  int                  `json:"sse_events_seen"`
+	EventsReset bool                 `json:"sse_reset_seen"`
+}
+
+// JSON renders the report.
+func (r *ServeReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// serveSamples collects latency samples per endpoint, one bucket per
+// worker goroutine to keep the hot path contention-free.
+type serveSamples struct {
+	name string
+	durs []time.Duration
+}
+
+func pctMicros(durs []time.Duration, p float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(durs)-1))
+	return float64(durs[i].Nanoseconds()) / 1000
+}
+
+// ServeExp stands a serve.Server over an in-memory matcher seeded with
+// nSeed persons, then runs readers goroutines of point reads (/same,
+// /entities alternating) and writers goroutines of /apply mutation
+// posts (nOps deltas each) against it over real HTTP, plus one SSE
+// subscriber counting events. Latency is client-observed
+// (request-to-response, connection reuse via the default transport).
+func ServeExp(nSeed, nOps, readers, writers int) (*Table, *ServeReport, error) {
+	ks, err := graphkeys.ParseKeys("key P for person {\n x -email-> e*\n}")
+	if err != nil {
+		return nil, nil, err
+	}
+	g := graphkeys.NewGraph()
+	for i := 0; i < nSeed; i++ {
+		id := fmt.Sprintf("seed%d", i)
+		if err := g.AddEntity(id, "person"); err != nil {
+			return nil, nil, err
+		}
+		if err := g.AddValueTriple(id, "email", fmt.Sprintf("seedmail%d", i/2)); err != nil {
+			return nil, nil, err
+		}
+	}
+	m, err := graphkeys.NewMatcher(g, ks, graphkeys.Options{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := serve.New(m, serve.Options{EventRing: 4096})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := &http.Client{}
+	do := func(method, url, body string) (time.Duration, error) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return 0, err
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		d := time.Since(t0)
+		if resp.StatusCode >= 400 && resp.StatusCode != http.StatusTooManyRequests {
+			return d, fmt.Errorf("%s %s: status %d", method, url, resp.StatusCode)
+		}
+		return d, nil
+	}
+
+	// One SSE subscriber rides along, counting events (it is the
+	// subscriber every production deployment has at least one of; its
+	// cost is part of the measurement).
+	events, resets := 0, false
+	sseDone := make(chan struct{})
+	sseReq, _ := http.NewRequest("GET", ts.URL+"/subscribe?from=0", nil)
+	sseResp, err := http.DefaultTransport.RoundTrip(sseReq)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		defer close(sseDone)
+		defer sseResp.Body.Close()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := sseResp.Body.Read(buf)
+			if n > 0 {
+				events += strings.Count(string(buf[:n]), "event: change")
+				if strings.Contains(string(buf[:n]), "event: reset") {
+					resets = true
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var (
+		wg        sync.WaitGroup
+		writersWG sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
+		allSame   = make([]serveSamples, readers)
+		allEnts   = make([]serveSamples, readers)
+		allApply  = make([]serveSamples, writers)
+		stopRead  = make(chan struct{})
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				j := (r*7919 + i) % nSeed
+				if i%2 == 0 {
+					d, err := do("GET", fmt.Sprintf("%s/same?a=seed%d&b=seed%d", ts.URL, j, (j+1)%nSeed), "")
+					if err != nil {
+						fail(err)
+						return
+					}
+					allSame[r].durs = append(allSame[r].durs, d)
+				} else {
+					d, err := do("GET", fmt.Sprintf("%s/entities?p=email&v=seedmail%d", ts.URL, j/2), "")
+					if err != nil {
+						fail(err)
+						return
+					}
+					allEnts[r].durs = append(allEnts[r].durs, d)
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		writersWG.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer writersWG.Done()
+			for i := 0; i < nOps; i++ {
+				a, b := fmt.Sprintf("w%d_%d_a", w, i), fmt.Sprintf("w%d_%d_b", w, i)
+				body := fmt.Sprintf(`{"deltas":[{"ops":[
+					{"op":"add_entity","id":"%s","type":"person"},
+					{"op":"add_entity","id":"%s","type":"person"},
+					{"op":"add_value","s":"%s","p":"email","v":"wm%d_%d"},
+					{"op":"add_value","s":"%s","p":"email","v":"wm%d_%d"}
+				]}]}`, a, b, a, w, i, b, w, i)
+				d, err := do("POST", ts.URL+"/apply", body)
+				if err != nil {
+					fail(err)
+					return
+				}
+				allApply[w].durs = append(allApply[w].durs, d)
+			}
+		}(w)
+	}
+	// The writers bound the run; readers spin until the writers finish,
+	// so read latency is measured under sustained write load.
+	writersWG.Wait()
+	close(stopRead)
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	// Drain the write queue so FinalSeq/FinalPairs describe the full
+	// workload, then close (ends the SSE stream).
+	if _, err := do("POST", ts.URL+"/apply?wait=1", `{"deltas":[{"ops":[{"op":"add_entity","id":"fin","type":"person"}]}]}`); err != nil {
+		return nil, nil, err
+	}
+	finalSeq := m.Seq()
+	finalPairs := len(m.Result().Matches)
+	if err := srv.Close(); err != nil {
+		return nil, nil, err
+	}
+	<-sseDone
+
+	rep := &ServeReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Entities:    nSeed,
+		Readers:     readers,
+		Writers:     writers,
+		WallMillis:  ms(wall),
+		FinalSeq:    finalSeq,
+		FinalPairs:  finalPairs,
+		EventsSeen:  events,
+		EventsReset: resets,
+	}
+
+	table := &Table{
+		Title: fmt.Sprintf("Serving layer: %d readers + %d writers x %d deltas over HTTP (seed %d entities, GOMAXPROCS=%d)",
+			readers, writers, nOps, nSeed, rep.GOMAXPROCS),
+		Header: []string{"endpoint", "requests", "qps", "p50", "p99", "max"},
+	}
+	totalReqs := 0
+	addEndpoint := func(name string, buckets []serveSamples) {
+		var durs []time.Duration
+		for i := range buckets {
+			durs = append(durs, buckets[i].durs...)
+		}
+		if len(durs) == 0 {
+			return
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		st := ServeEndpointStats{
+			Endpoint: name,
+			Requests: len(durs),
+			QPS:      float64(len(durs)) / wall.Seconds(),
+			P50Micro: pctMicros(durs, 0.50),
+			P99Micro: pctMicros(durs, 0.99),
+			MaxMicro: pctMicros(durs, 1.0),
+		}
+		rep.Endpoints = append(rep.Endpoints, st)
+		totalReqs += st.Requests
+		table.Rows = append(table.Rows, []string{
+			name,
+			fmt.Sprintf("%d", st.Requests),
+			fmt.Sprintf("%.0f", st.QPS),
+			fmt.Sprintf("%.0fus", st.P50Micro),
+			fmt.Sprintf("%.0fus", st.P99Micro),
+			fmt.Sprintf("%.0fus", st.MaxMicro),
+		})
+	}
+	addEndpoint("GET /same", allSame)
+	addEndpoint("GET /entities", allEnts)
+	addEndpoint("POST /apply", allApply)
+	rep.TotalQPS = float64(totalReqs) / wall.Seconds()
+	table.Rows = append(table.Rows, []string{
+		"total", fmt.Sprintf("%d", totalReqs), fmt.Sprintf("%.0f", rep.TotalQPS), "", "", "",
+	})
+	return table, rep, nil
+}

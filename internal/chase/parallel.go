@@ -99,7 +99,7 @@ func runParallel(g *graph.Graph, set *keys.Set, opts Options) (*Result, error) {
 		// lock contention on the hot search path.
 		snap := tr.Snapshot().Reader()
 		verdicts := make([]verdict, len(active))
-		engine.Parallel(p, len(active), func(i int) {
+		engine.Parallel(m.Opts.Eng, p, len(active), func(i int) {
 			pr := cands[active[i]]
 			if snap.Same(pr.A, pr.B) {
 				return

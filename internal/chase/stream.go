@@ -127,7 +127,7 @@ func runParallelStreamed(m *match.Matcher, recursive bool, opts Options) *Result
 		if len(chunk) == 0 {
 			return
 		}
-		engine.Parallel(p, len(chunk), func(i int) {
+		engine.Parallel(m.Opts.Eng, p, len(chunk), func(i int) {
 			pr := chunk[i]
 			ok, key, reqs, uses, steps := identify(m, graph.NodeID(pr.A), graph.NodeID(pr.B), snap, opts.UseVF2)
 			isoSteps.Add(int64(steps))
@@ -171,7 +171,7 @@ func runParallelStreamed(m *match.Matcher, recursive bool, opts Options) *Result
 		for len(active) > 0 {
 			snap := tr.Snapshot().Reader()
 			verdicts := make([]verdict, len(active))
-			engine.Parallel(p, len(active), func(i int) {
+			engine.Parallel(m.Opts.Eng, p, len(active), func(i int) {
 				pr := failed[active[i]]
 				if snap.Same(pr.A, pr.B) {
 					return

@@ -172,7 +172,7 @@ func Run(g *graph.Graph, set *keys.Set, cfg Config) (*Result, error) {
 			nb     nbhd
 		}
 		outs := make([]pairingOut, len(unfiltered))
-		engine.Parallel(cfg.P, len(unfiltered), func(i int) {
+		engine.Parallel(m.Opts.Eng, cfg.P, len(unfiltered), func(i int) {
 			e1, e2 := graph.NodeID(unfiltered[i].A), graph.NodeID(unfiltered[i].B)
 			r1, r2, paired := m.ReducedNeighborhoods(e1, e2)
 			outs[i] = pairingOut{paired: paired, nb: nbhd{r1, r2}}

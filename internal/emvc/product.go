@@ -117,7 +117,7 @@ func buildProduct(m *match.Matcher, cands []eqrel.Pair, workers int) (*Product, 
 		tuples []opair
 	}
 	outs := make([]out, len(cands))
-	engine.Parallel(workers, len(cands), func(i int) {
+	engine.Parallel(m.Opts.Eng, workers, len(cands), func(i int) {
 		pr := cands[i]
 		e1, e2 := graph.NodeID(pr.A), graph.NodeID(pr.B)
 		g1d, g2d := m.Neighborhood(e1), m.Neighborhood(e2)

@@ -42,7 +42,9 @@ func Workers(p int) int {
 // participants steal from busy ones' tails, so skewed loads balance
 // instead of striding blindly. It degrades to a sequential inline loop
 // when workers < 2 or the problem is trivially small, and returns when
-// every call has.
-func Parallel(workers, n int, fn func(i int)) {
-	shared().Parallel(workers, n, fn)
+// every call has. ob is the caller's instrument bundle — each layer
+// threads its own handle (nil for uninstrumented) so coexisting
+// matchers never share counters through a process global.
+func Parallel(ob *Obs, workers, n int, fn func(i int)) {
+	shared().Parallel(ob, workers, n, fn)
 }

@@ -28,7 +28,7 @@ func TestParallelCoversEveryIndex(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
 		for _, n := range []int{0, 1, 2, 17, 64} {
 			hits := make([]atomic.Int32, n)
-			Parallel(workers, n, func(i int) { hits[i].Add(1) })
+			Parallel(nil, workers, n, func(i int) { hits[i].Add(1) })
 			for i := range hits {
 				if got := hits[i].Load(); got != 1 {
 					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, got)
@@ -91,7 +91,7 @@ func TestTrackerUnionMembers(t *testing.T) {
 func TestTrackerConcurrentUnions(t *testing.T) {
 	const n = 256
 	tr := NewTracker(n)
-	Parallel(8, n-1, func(i int) {
+	Parallel(nil, 8, n-1, func(i int) {
 		tr.Union(int32(i), int32(i+1))
 	})
 	if !tr.Same(0, n-1) {

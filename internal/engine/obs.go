@@ -1,15 +1,15 @@
 package engine
 
 import (
-	"sync/atomic"
-
 	"graphkeys/internal/obs"
 )
 
-// Obs is the substrate's instrument bundle. Parallel is a free
-// function called from every layer, so the hook is a package-global
-// atomic pointer rather than a parameter: uninstrumented processes
-// pay one atomic load per Parallel call.
+// Obs is the substrate's instrument bundle, threaded explicitly through
+// Parallel/Submit by the layer that owns the registry. It used to be a
+// package-global atomic pointer, which silently cross-wired metrics
+// whenever two Matchers (two registries) coexisted in one process —
+// exactly the multi-matcher shape a serving layer creates. A nil *Obs
+// is valid everywhere and means "uninstrumented".
 type Obs struct {
 	// ParallelCalls counts Parallel invocations; ParallelItems counts
 	// the items they fanned out (ParallelItems/ParallelCalls is the
@@ -17,7 +17,7 @@ type Obs struct {
 	ParallelCalls *obs.Counter
 	ParallelItems *obs.Counter
 	// ActiveWorkers tracks the worker goroutines currently running —
-	// a live utilization gauge for the whole process.
+	// a live utilization gauge for this bundle's owner.
 	ActiveWorkers *obs.Gauge
 	// PoolSteals counts chunks taken from another participant's deque
 	// tail: the load-imbalance signal of the work-stealing pool (zero
@@ -32,26 +32,20 @@ type Obs struct {
 	PoolSubmitterTasks *obs.Counter
 }
 
-var globalObs atomic.Pointer[Obs]
-
-// SetObs installs (or, with nil, removes) the process-wide substrate
-// instruments.
-func SetObs(o *Obs) {
-	globalObs.Store(o)
-}
-
-// RegisterObs builds an Obs wired to conventionally named instruments
-// of the registry and installs it. A nil registry installs nothing.
-func RegisterObs(r *obs.Registry) {
+// NewObs builds an Obs wired to conventionally named instruments of the
+// registry. Instruments are get-or-create by name, so several NewObs
+// calls against the same registry share the underlying counters. A nil
+// registry yields nil (uninstrumented).
+func NewObs(r *obs.Registry) *Obs {
 	if r == nil {
-		return
+		return nil
 	}
-	SetObs(&Obs{
+	return &Obs{
 		ParallelCalls:      r.Counter("engine.parallel_calls", "Parallel invocations"),
 		ParallelItems:      r.Counter("engine.parallel_items", "items fanned out by Parallel"),
 		ActiveWorkers:      r.Gauge("engine.active_workers", "worker goroutines currently running"),
 		PoolSteals:         r.Counter("engine.pool_steals", "chunks stolen from another participant's deque"),
 		PoolWorkerTasks:    r.CounterVec("engine.pool_worker_tasks", "items executed per pool worker", "worker", poolTaskBuckets),
 		PoolSubmitterTasks: r.Counter("engine.pool_submitter_tasks", "items executed by submitting goroutines"),
-	})
+	}
 }

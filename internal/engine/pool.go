@@ -103,6 +103,7 @@ type chunkRange struct{ lo, hi int32 }
 // run, lending the waiting goroutine to the remaining chunks first.
 type Job struct {
 	fn     func(int)
+	ob     *Obs
 	chunks []chunkRange
 	deques []deque
 	// joiners assigns deque slots to pool workers as they pick up the
@@ -146,13 +147,14 @@ func (d *deque) stealTail() (int32, bool) {
 
 // newJob chunks [0, n) over the given participant count and fills the
 // per-participant deques round-robin.
-func newJob(participants, n int, fn func(int)) *Job {
+func newJob(ob *Obs, participants, n int, fn func(int)) *Job {
 	nchunks := participants * chunksPerWorker
 	if nchunks > n {
 		nchunks = n
 	}
 	j := &Job{
 		fn:     fn,
+		ob:     ob,
 		chunks: make([]chunkRange, nchunks),
 		deques: make([]deque, participants),
 		done:   make(chan struct{}),
@@ -182,7 +184,7 @@ func newJob(participants, n int, fn func(int)) *Job {
 // can be popped or stolen. workerID is the pool worker's identity for
 // the per-worker task counters, or -1 for a submitter/waiter.
 func (j *Job) run(slot, workerID int) {
-	ob := globalObs.Load()
+	ob := j.ob
 	if ob != nil {
 		ob.ActiveWorkers.Inc()
 	}
@@ -249,21 +251,23 @@ func (j *Job) Wait() {
 // every call has. The submitting goroutine always participates, so
 // nested Parallel calls from inside a running job cannot deadlock.
 // Like the package-level Parallel it degrades to an inline loop when
-// workers < 2 or n < 2.
-func (p *Pool) Parallel(workers, n int, fn func(i int)) {
-	p.Submit(workers, n, fn).Wait()
+// workers < 2 or n < 2. ob is the caller's instrument bundle (nil for
+// uninstrumented).
+func (p *Pool) Parallel(ob *Obs, workers, n int, fn func(i int)) {
+	p.Submit(ob, workers, n, fn).Wait()
 }
 
 // Submit enqueues fn over [0, n) as a job on the pool and returns
 // without waiting; pool workers start on it immediately. The caller
 // must eventually Wait — the waiter lends its goroutine to whatever
 // chunks remain. Trivial submissions (workers < 2 or n < 2) run
-// inline before Submit returns.
-func (p *Pool) Submit(workers, n int, fn func(i int)) *Job {
+// inline before Submit returns. The job's fan-out is accounted to ob
+// (nil for uninstrumented), so concurrent jobs from different owners
+// keep their metrics apart.
+func (p *Pool) Submit(ob *Obs, workers, n int, fn func(i int)) *Job {
 	if workers > n {
 		workers = n
 	}
-	ob := globalObs.Load()
 	if ob != nil && n > 0 {
 		ob.ParallelCalls.Inc()
 		ob.ParallelItems.Add(int64(n))
@@ -279,7 +283,7 @@ func (p *Pool) Submit(workers, n int, fn func(i int)) *Job {
 		return &Job{}
 	}
 	p.ensure(workers)
-	j := newJob(workers, n, fn)
+	j := newJob(ob, workers, n, fn)
 	for w := 1; w < workers; w++ {
 		select {
 		case p.jobs <- j:

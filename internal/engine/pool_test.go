@@ -18,7 +18,7 @@ func TestPoolParallelCoversAllIndices(t *testing.T) {
 		{4, 3}, {4, 1000}, {8, 17}, {16, 1000}, {100, 257},
 	} {
 		counts := make([]atomic.Int32, tc.n)
-		p.Parallel(tc.workers, tc.n, func(i int) {
+		p.Parallel(nil, tc.workers, tc.n, func(i int) {
 			counts[i].Add(1)
 		})
 		for i := range counts {
@@ -39,8 +39,8 @@ func TestPoolNestedParallelNoDeadlock(t *testing.T) {
 	go func() {
 		defer close(done)
 		var total atomic.Int64
-		p.Parallel(4, 8, func(i int) {
-			p.Parallel(4, 8, func(j int) {
+		p.Parallel(nil, 4, 8, func(i int) {
+			p.Parallel(nil, 4, 8, func(j int) {
 				total.Add(1)
 			})
 		})
@@ -61,7 +61,7 @@ func TestPoolSubmitWait(t *testing.T) {
 	p := NewPool(2)
 	defer p.Close()
 	var ran atomic.Int32
-	j := p.Submit(4, 500, func(i int) {
+	j := p.Submit(nil, 4, 500, func(i int) {
 		ran.Add(1)
 	})
 	j.Wait()
@@ -70,7 +70,7 @@ func TestPoolSubmitWait(t *testing.T) {
 	}
 	// Trivial submissions run inline; Wait on them is a no-op.
 	var inline atomic.Int32
-	p.Submit(1, 3, func(i int) { inline.Add(1) }).Wait()
+	p.Submit(nil, 1, 3, func(i int) { inline.Add(1) }).Wait()
 	if got := inline.Load(); got != 3 {
 		t.Fatalf("inline submission ran %d of 3", got)
 	}
@@ -81,17 +81,14 @@ func TestPoolSubmitWait(t *testing.T) {
 // per-worker/submitter task counters account for every item exactly
 // once.
 func TestPoolStealAccounting(t *testing.T) {
-	prev := globalObs.Load()
-	defer globalObs.Store(prev)
 	reg := obs.NewRegistry()
-	RegisterObs(reg)
-	ob := globalObs.Load()
+	ob := NewObs(reg)
 
 	p := NewPool(4)
 	defer p.Close()
 	const n = 4000
 	var total atomic.Int64
-	p.Parallel(4, n, func(i int) {
+	p.Parallel(ob, 4, n, func(i int) {
 		if i == 0 {
 			time.Sleep(20 * time.Millisecond) // the skewed item
 		}
@@ -123,7 +120,7 @@ func TestPoolDeterministicWrites(t *testing.T) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		out := make([]int, len(ref))
-		p.Parallel(workers, len(out), func(i int) {
+		p.Parallel(nil, workers, len(out), func(i int) {
 			out[i] = i * i
 		})
 		for i := range out {

@@ -114,6 +114,13 @@ func (r Reader) Same(a, b int32) bool {
 	return r.findRO(a) == r.findRO(b)
 }
 
+// Find returns a's class representative without mutating the
+// structure — the canonical-entity lookup for concurrent readers
+// (Eq.Find compresses paths and needs exclusive access).
+func (r Reader) Find(a int32) int32 {
+	return r.findRO(a)
+}
+
 func (r Reader) findRO(a int32) int32 {
 	for r.eq.parent[a] != a {
 		a = r.eq.parent[a]

@@ -1,6 +1,9 @@
 package graph
 
-import "graphkeys/internal/obs"
+import (
+	"graphkeys/internal/engine"
+	"graphkeys/internal/obs"
+)
 
 // Obs is the write path's instrument bundle. Every handle may be nil
 // (they no-op); a graph with no observer set pays one atomic load per
@@ -46,6 +49,11 @@ type Obs struct {
 	PlanFallbacks    *obs.Counter
 	OptimisticPlans  *obs.Counter
 	PendingNameWaits *obs.Counter
+
+	// Eng is the execution substrate's bundle, accounted to the shard
+	// fan-out of executePlanned; per-graph so coexisting graphs (two
+	// matchers in one process) keep their pool metrics apart.
+	Eng *engine.Obs
 }
 
 // Nil-safe field access, so instrumentation sites read handles off a
@@ -120,6 +128,13 @@ func (o *Obs) pendingNameWaits() *obs.Counter {
 	return ctrOf(o, func(o *Obs) *obs.Counter { return o.PendingNameWaits })
 }
 
+func (o *Obs) eng() *engine.Obs {
+	if o == nil {
+		return nil
+	}
+	return o.Eng
+}
+
 // SetObserver installs (or, with nil, removes) the write path's
 // instruments. Safe to call concurrently with writers; in-flight
 // deltas may record against the previous observer.
@@ -149,5 +164,7 @@ func (g *Graph) RegisterObs(r *obs.Registry) {
 		PlanFallbacks:    r.Counter("graph.plan_fallbacks", "deltas that fell back to the pessimistic plan path"),
 		OptimisticPlans:  r.Counter("graph.plans_optimistic", "deltas admitted by footprint revalidation"),
 		PendingNameWaits: r.Counter("graph.pending_name_waits", "admissions that blocked on a pending name reservation"),
+
+		Eng: engine.NewObs(r),
 	})
 }

@@ -1234,7 +1234,7 @@ func (g *Graph) executePlanned(p *planned) {
 	// deterministic application order keeps traces and lock-wait
 	// profiles reproducible run to run.
 	sort.Ints(shards)
-	engine.Parallel(engine.Workers(0), len(shards), func(i int) {
+	engine.Parallel(g.ob.Load().eng(), engine.Workers(0), len(shards), func(i int) {
 		g.applyShardOps(shards[i], p.perShard[shards[i]])
 	})
 	g.nTrip.Add(p.tripDelta)

@@ -257,7 +257,7 @@ func (e *Engine) ApplyAll(ds []*graph.Delta, workers int) (added, removed []eqre
 	if len(ds) == 1 {
 		apply(0)
 	} else {
-		engine.Parallel(engine.Workers(workers), len(ds), apply)
+		engine.Parallel(e.opts.Match.Eng, engine.Workers(workers), len(ds), apply)
 	}
 	res := &graph.DeltaResult{}
 	merged := 0
@@ -323,7 +323,7 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 		// the part of invalidation that grows with the step log — and
 		// each step marks independently.
 		usesRemoved := make([]bool, len(e.steps))
-		engine.Parallel(workers, len(e.steps), func(i int) {
+		engine.Parallel(e.opts.Match.Eng, workers, len(e.steps), func(i int) {
 			usesRemoved[i] = stepUsesAny(e.steps[i], removedSet)
 		})
 		// Replay phase, sequential: drop marked steps, cascade along
@@ -384,7 +384,7 @@ func (e *Engine) repair(res *graph.DeltaResult) (added, removed []eqrel.Pair, er
 		e.stats.Region = len(region)
 		e.opts.Obs.region().Add(int64(len(region)))
 		partners := make([][]graph.NodeID, len(region))
-		engine.Parallel(workers, len(region), func(i int) {
+		engine.Parallel(e.opts.Match.Eng, workers, len(region), func(i int) {
 			partners[i] = e.m.ValuePartners(region[i])
 		})
 		for i, p := range region {
@@ -446,7 +446,7 @@ func (e *Engine) affectedEntities(res *graph.DeltaResult, workers int) []graph.N
 		addEp(n)
 	}
 	sets := make([]*graph.NodeSet, len(endpoints))
-	engine.Parallel(workers, len(endpoints), func(i int) {
+	engine.Parallel(e.opts.Match.Eng, workers, len(endpoints), func(i int) {
 		sets[i] = e.g.Neighborhood(endpoints[i], e.maxRadius)
 	})
 	for i, x := range endpoints {
@@ -561,7 +561,7 @@ func (e *Engine) chaseComponents(seeds []eqrel.Pair, workers int) {
 	ob, tr := e.opts.Obs, e.opts.Trace
 	ob.components().Add(int64(len(comps)))
 	ob.worklistDepth().Observe(int64(len(seeds)))
-	engine.Parallel(workers, len(comps), func(ci int) {
+	engine.Parallel(e.opts.Match.Eng, workers, len(comps), func(ci int) {
 		sp := tr.Begin("inc.chase.component")
 		wl := engine.NewWorklist[eqrel.Pair]()
 		for _, s := range comps[ci] {
@@ -655,7 +655,7 @@ func (e *Engine) chaseRounds(seeds []eqrel.Pair, workers int) {
 		active := wl.Drain()
 		snap := e.eq.Clone().Reader()
 		verdicts := make([]verdict, len(active))
-		engine.Parallel(workers, len(active), func(i int) {
+		engine.Parallel(e.opts.Match.Eng, workers, len(active), func(i int) {
 			pr := active[i]
 			if snap.Same(pr.A, pr.B) {
 				return

@@ -195,7 +195,7 @@ func (m *Matcher) radius1KeyPartners(ck *CompiledKey, e graph.NodeID) []graph.No
 	if len(ck.xAnchors) == 0 {
 		return nil
 	}
-	ob := globalObs.Load()
+	ob := m.Opts.Obs
 	// Phase 1: membership-probe every constant anchor before pulling
 	// any value-variable posting list — a miss rejects e outright.
 	for _, a := range ck.xAnchors {
@@ -499,7 +499,7 @@ func (m *Matcher) BuildDependencyIndexParallel(pairs []eqrel.Pair, workers int) 
 	// Per-side contribution: the entities of a dependency type in the
 	// side's d-neighborhood, ascending (Each enumerates in ID order).
 	sideDeps := make([][]graph.NodeID, len(sides))
-	engine.Parallel(workers, len(sides), func(i int) {
+	engine.Parallel(m.Opts.Eng, workers, len(sides), func(i int) {
 		e := sides[i]
 		info := infos[m.G.TypeOf(e)]
 		if len(info.depTypes) == 0 {

@@ -53,6 +53,13 @@ type Options struct {
 	// The incremental engine uses lazy matchers because it only ever
 	// inspects a small affected region of the graph per delta.
 	Lazy bool
+	// Obs receives the candidate pipeline's instruments (streamed /
+	// pruned / postings-scanned counts); Eng receives the execution
+	// substrate's (Parallel fan-out, pool worker activity). Both are
+	// per-owner handles — coexisting matchers with separate registries
+	// keep their counts apart. nil means uninstrumented.
+	Obs *Obs
+	Eng *engine.Obs
 }
 
 func (o Options) valueEq(a, b string) bool {
@@ -357,7 +364,7 @@ func New(g *graph.Graph, set *keys.Set, opts Options) (*Matcher, error) {
 	if len(jobs) < 2*p {
 		p = 1
 	}
-	engine.Parallel(p, len(jobs), func(i int) {
+	engine.Parallel(opts.Eng, p, len(jobs), func(i int) {
 		results[i] = g.Neighborhood(jobs[i].e, jobs[i].d)
 	})
 	for i, j := range jobs {

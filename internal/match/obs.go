@@ -1,16 +1,15 @@
 package match
 
 import (
-	"sync/atomic"
-
 	"graphkeys/internal/obs"
 )
 
-// Obs is the candidate pipeline's instrument bundle. Candidate
-// generation runs on hot inner loops shared by every engine, so —
-// like internal/engine — the hook is a package-global atomic pointer
-// rather than a Matcher field: uninstrumented processes pay one
-// atomic load per stream construction or join.
+// Obs is the candidate pipeline's instrument bundle, carried on
+// Options (Options.Obs) by the Matcher that owns the registry. It used
+// to be a package-global atomic pointer, which cross-wired stream
+// metrics whenever two Matchers coexisted in one process; per-options
+// handles keep each owner's counts in its own registry. A nil *Obs is
+// valid and means "uninstrumented".
 type Obs struct {
 	// CandidatesStreamed counts candidate pairs yielded by the
 	// streaming pipeline (CandidateStream), before the pairing filter.
@@ -25,23 +24,17 @@ type Obs struct {
 	PostingsScanned *obs.Counter
 }
 
-var globalObs atomic.Pointer[Obs]
-
-// SetObs installs (or, with nil, removes) the process-wide candidate
-// pipeline instruments.
-func SetObs(o *Obs) {
-	globalObs.Store(o)
-}
-
-// RegisterObs builds an Obs wired to conventionally named instruments
-// of the registry and installs it. A nil registry installs nothing.
-func RegisterObs(r *obs.Registry) {
+// NewObs builds an Obs wired to conventionally named instruments of
+// the registry. Instruments are get-or-create by name, so several
+// NewObs calls against the same registry share the underlying
+// counters. A nil registry yields nil (uninstrumented).
+func NewObs(r *obs.Registry) *Obs {
 	if r == nil {
-		return
+		return nil
 	}
-	SetObs(&Obs{
+	return &Obs{
 		CandidatesStreamed: r.Counter("match.candidates_streamed", "candidate pairs yielded by the streaming pipeline"),
 		CandidatesPruned:   r.Counter("match.candidates_pruned", "candidates pruned by the pairing filter before any key check"),
 		PostingsScanned:    r.Counter("match.postings_scanned", "posting lists and value buckets pulled into candidate joins"),
-	})
+	}
 }

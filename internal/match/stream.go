@@ -43,7 +43,7 @@ import (
 // stops generation; no candidate list is ever materialized.
 func (m *Matcher) CandidateStream() iter.Seq[eqrel.Pair] {
 	return func(yield func(eqrel.Pair) bool) {
-		ob := globalObs.Load()
+		ob := m.Opts.Obs
 		emit := func(pr eqrel.Pair) bool {
 			if ob != nil {
 				ob.CandidatesStreamed.Inc()
@@ -105,7 +105,7 @@ func (m *Matcher) CandidateStream() iter.Seq[eqrel.Pair] {
 // FilterPaired — counting what it prunes before any key check runs.
 func (m *Matcher) FilterStream(s iter.Seq[eqrel.Pair]) iter.Seq[eqrel.Pair] {
 	return func(yield func(eqrel.Pair) bool) {
-		ob := globalObs.Load()
+		ob := m.Opts.Obs
 		for pr := range s {
 			if !m.CanBePaired(graph.NodeID(pr.A), graph.NodeID(pr.B)) {
 				if ob != nil {
@@ -258,7 +258,7 @@ func (m *Matcher) radiusDStream(t graph.TypeID) iter.Seq[eqrel.Pair] {
 // d-neighborhood contains value node v — bucket v of the eager
 // radius-d build, computed from v's side via neighborhood symmetry.
 func (m *Matcher) bucketMembers(v graph.NodeID, t graph.TypeID, d int) []graph.NodeID {
-	if ob := globalObs.Load(); ob != nil {
+	if ob := m.Opts.Obs; ob != nil {
 		ob.PostingsScanned.Inc()
 	}
 	var out []graph.NodeID

@@ -143,14 +143,14 @@ func TestPartnerStreamAgreesWithCandidates(t *testing.T) {
 	}
 }
 
-// withStreamObs installs a fresh instrument bundle for the duration of
-// the test and returns it.
-func withStreamObs(t *testing.T) *Obs {
+// withStreamObs installs a fresh instrument bundle on the matcher for
+// the duration of the test and returns it.
+func withStreamObs(t *testing.T, m *Matcher) *Obs {
 	t.Helper()
-	prev := globalObs.Load()
-	t.Cleanup(func() { globalObs.Store(prev) })
-	RegisterObs(obs.NewRegistry())
-	return globalObs.Load()
+	prev := m.Opts.Obs
+	t.Cleanup(func() { m.Opts.Obs = prev })
+	m.Opts.Obs = NewObs(obs.NewRegistry())
+	return m.Opts.Obs
 }
 
 // TestStreamEarlyTermination: a consumer that stops after the first
@@ -162,7 +162,7 @@ func TestStreamEarlyTermination(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ob := withStreamObs(t)
+	ob := withStreamObs(t, m)
 	for range m.CandidateStream() {
 	}
 	full := ob.PostingsScanned.Value()
@@ -171,7 +171,7 @@ func TestStreamEarlyTermination(t *testing.T) {
 		t.Fatalf("workload too small to observe termination: %d candidates, %d postings", streamed, full)
 	}
 
-	ob = withStreamObs(t)
+	ob = withStreamObs(t, m)
 	for range m.CandidateStream() {
 		break
 	}
@@ -210,7 +210,7 @@ func TestConstantRejectStopsPostings(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ob := withStreamObs(t)
+	ob := withStreamObs(t, m)
 	if got := slices.Collect(m.PartnerStream(c)); got != nil {
 		t.Fatalf("partners(c) = %v, want none", got)
 	}
@@ -218,7 +218,7 @@ func TestConstantRejectStopsPostings(t *testing.T) {
 		t.Errorf("rejected entity scanned %d posting lists, want 1 (the constant probe alone)", got)
 	}
 
-	ob = withStreamObs(t)
+	ob = withStreamObs(t, m)
 	if got := slices.Collect(m.PartnerStream(a)); !reflect.DeepEqual(got, []graph.NodeID{b}) {
 		t.Fatalf("partners(a) = %v, want [b]", got)
 	}

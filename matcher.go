@@ -108,6 +108,65 @@ type Matcher struct {
 	obApply     *obs.Histogram
 	obBatch     *obs.Histogram
 	obBatchSize *obs.Histogram
+	// obEng and obMatch are this matcher's handles into the execution
+	// substrate and candidate pipeline, threaded down through
+	// match.Options — per-matcher, so coexisting matchers never share
+	// counters (see observe.go registerObs).
+	obEng   *engine.Obs
+	obMatch *match.Obs
+
+	// onApply, when set, is called under m.mu at the end of every
+	// Apply/ApplyBatch that changed the pair set (see SetOnApply).
+	onApply func(ApplyEvent)
+}
+
+// ApplyEvent describes the merge/split effect of one Apply or
+// ApplyBatch: the pairs that appeared and disappeared, tagged with the
+// matcher's sequence number after the call (the WAL sequence for
+// durable matchers, the repair generation otherwise) so subscribers
+// can resume from a known point.
+type ApplyEvent struct {
+	Seq     uint64
+	Added   []Pair
+	Removed []Pair
+}
+
+// SetOnApply installs a hook receiving an ApplyEvent for every
+// Apply/ApplyBatch that changed the pair set. The hook runs under the
+// matcher's write lock — it must not call back into the Matcher and
+// should hand the event off quickly (e.g. into a channel). Install it
+// before the matcher is used concurrently; a nil fn removes the hook.
+func (m *Matcher) SetOnApply(fn func(ApplyEvent)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onApply = fn
+}
+
+// Seq returns the matcher's current sequence number: the WAL sequence
+// of the last logged delta for durable matchers, or the repair
+// generation (maintenance passes run so far) for in-memory ones. It
+// only moves forward, and every ApplyEvent carries the value current
+// at its delta boundary.
+func (m *Matcher) Seq() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.seqLocked()
+}
+
+func (m *Matcher) seqLocked() uint64 {
+	if m.store != nil {
+		return m.store.Seq()
+	}
+	return m.eng.Seq()
+}
+
+// fireLocked invokes the onApply hook if the pair set changed. Caller
+// holds m.mu.
+func (m *Matcher) fireLocked(added, removed []Pair) {
+	if m.onApply == nil || (len(added) == 0 && len(removed) == 0) {
+		return
+	}
+	m.onApply(ApplyEvent{Seq: m.seqLocked(), Added: added, Removed: removed})
 }
 
 // NewMatcher computes chase(G, Σ) with the sequential chase and
@@ -121,7 +180,7 @@ func NewMatcher(g *Graph, ks *KeySet, opts Options) (*Matcher, error) {
 	m := &Matcher{g: g, workers: opts.Workers}
 	m.registerObs()
 	eng, err := inc.New(g.g, ks.set, inc.Options{
-		Match:       match.Options{ValueEq: opts.ValueEq, Workers: opts.Workers},
+		Match:       match.Options{ValueEq: opts.ValueEq, Workers: opts.Workers, Obs: m.obMatch, Eng: m.obEng},
 		Parallelism: opts.parallelism(),
 		Obs:         inc.RegisterObs(m.reg),
 		Trace:       m.trace, //emlint:ignore obshandle forwarded as wiring, not dereferenced; Tracer methods are nil-safe
@@ -149,7 +208,9 @@ func (m *Matcher) Apply(d *Delta) (added, removed []Pair, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return m.toMatches(addedPairs), m.toMatches(removedPairs), nil
+	added, removed = m.toMatches(addedPairs), m.toMatches(removedPairs)
+	m.fireLocked(added, removed)
+	return added, removed, nil
 }
 
 // ApplyBatch mutates the graph by every delta and repairs the fixpoint
@@ -164,8 +225,16 @@ func (m *Matcher) Apply(d *Delta) (added, removed []Pair, err error) {
 // one batch should be independent of each other — when two conflict,
 // their serialization order is unspecified.
 func (m *Matcher) ApplyBatch(ds []*Delta) (added, removed []Pair, err error) {
+	added, removed, _, err = m.applyBatch(ds)
+	return added, removed, err
+}
+
+// applyBatch is ApplyBatch plus the count of deltas that actually
+// applied (the batch's partial semantics skip deltas failing
+// validation) — the Writer's failure accounting needs the split.
+func (m *Matcher) applyBatch(ds []*Delta) (added, removed []Pair, applied int, err error) {
 	if len(ds) == 0 {
-		return nil, nil, nil
+		return nil, nil, 0, nil
 	}
 	gds := make([]*graph.Delta, len(ds))
 	for i, d := range ds {
@@ -179,7 +248,10 @@ func (m *Matcher) ApplyBatch(ds []*Delta) (added, removed []Pair, err error) {
 	t0 := m.obBatch.Start()
 	addedPairs, removedPairs, err := m.eng.ApplyAll(gds, engine.Workers(m.workers))
 	m.obBatch.ObserveSince(t0)
-	return m.toMatches(addedPairs), m.toMatches(removedPairs), err
+	applied = m.eng.LastStats().Merged
+	added, removed = m.toMatches(addedPairs), m.toMatches(removedPairs)
+	m.fireLocked(added, removed)
+	return added, removed, applied, err
 }
 
 // Result materializes the current chase(G, Σ) as a Result, identical
@@ -210,6 +282,54 @@ func (m *Matcher) Same(a, b EntityID) bool {
 	// view the read lock provides against Apply; concurrent Same
 	// callers share a snapshot-free non-compressing reader instead.
 	return m.eng.Eq().Reader().Same(int32(na), int32(nb))
+}
+
+// Canonical returns the canonical entity of a's equivalence class —
+// the class representative of the union-find maintained by the chase.
+// Two entities are identified exactly when their canonical entities
+// coincide, and the representative is stable between Applies, so it
+// serves as the class's lookup key. The second result is false when a
+// is unknown.
+func (m *Matcher) Canonical(a EntityID) (EntityID, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	na, ok := m.g.g.Entity(a)
+	if !ok {
+		return "", false
+	}
+	// The non-compressing reader keeps this safe for any number of
+	// concurrent callers under the read lock (Eq.Find compresses and
+	// would race).
+	root := m.eng.Eq().Reader().Find(int32(na))
+	return m.g.g.Label(graph.NodeID(root)), true
+}
+
+// EntitiesWith returns the entities with the attribute
+// (predicate, value) — the subjects of triples (e, predicate, value)
+// with a literal object — in ascending internal order (deterministic
+// for a given graph history). It reads the inverted value index, so
+// the lookup costs one posting list, not a graph sweep. Unknown
+// predicates or values yield nil.
+func (m *Matcher) EntitiesWith(predicate, value string) []EntityID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.g.g.PredByName(predicate)
+	if !ok {
+		return nil
+	}
+	v, ok := m.g.g.Value(value)
+	if !ok {
+		return nil
+	}
+	subs := m.g.g.ValueSubjects(p, v)
+	if len(subs) == 0 {
+		return nil
+	}
+	out := make([]EntityID, 0, len(subs))
+	for _, s := range subs {
+		out = append(out, m.g.g.Label(s))
+	}
+	return out
 }
 
 // Graph returns the maintained graph. Mutate it only through Apply.
@@ -403,10 +523,16 @@ func sortPairLabels(ps [][2]string) {
 	})
 }
 
+// samePairLabels reports whether a (already sorted, as pairLabels
+// returns) and b contain the same pairs. b may arrive in any order and
+// may be caller-owned (OpenMatcher passes the WAL's snapshot slice),
+// so the sort runs on a copy — sorting in place would mutate the
+// store's data behind its back.
 func samePairLabels(a, b [][2]string) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	b = append([][2]string(nil), b...)
 	sortPairLabels(b)
 	for i := range a {
 		if a[i] != b[i] {

@@ -190,12 +190,15 @@ func TestWriterCoalesces(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	batches, applied := w.Stats()
-	if applied != deltas {
-		t.Fatalf("writer applied %d deltas, want %d", applied, deltas)
+	st := w.Stats()
+	if st.Deltas != deltas {
+		t.Fatalf("writer processed %d deltas, want %d", st.Deltas, deltas)
 	}
-	if batches == 0 || batches > deltas {
-		t.Fatalf("writer used %d batches for %d deltas", batches, deltas)
+	if st.Failed != 0 {
+		t.Fatalf("writer reports %d failed deltas, want 0", st.Failed)
+	}
+	if st.Batches == 0 || st.Batches > deltas {
+		t.Fatalf("writer used %d batches for %d deltas", st.Batches, deltas)
 	}
 	// nil deltas are ignored; real Applies after Close fail.
 	if err := w.Apply(nil); err != nil {

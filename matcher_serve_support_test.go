@@ -1,0 +1,265 @@
+package graphkeys
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// serveSupportFixture builds a small person/email graph plus the
+// single-value key identifying persons sharing an email.
+func serveSupportFixture(t *testing.T, n int) (*Graph, *KeySet) {
+	t.Helper()
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("p%d", i)
+		if err := g.AddEntity(id, "person"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddValueTriple(id, "email", fmt.Sprintf("mail%d", i/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks, err := ParseKeys("key P for person {\n x -email-> e*\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ks
+}
+
+// substrateCounts sums a Metrics snapshot's engine.* and match.*
+// counters — the instruments that used to live behind package globals.
+func substrateCounts(m *Matcher) int64 {
+	var sum int64
+	for name, v := range m.Metrics().Counters {
+		if len(name) > 7 && (name[:7] == "engine." || name[:6] == "match.") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestObsScopedPerMatcher is the regression test for the obs
+// cross-wiring bug: engine.* and match.* instruments were package
+// globals, so whichever Matcher registered last received every
+// coexisting Matcher's substrate counts. With per-matcher handles, two
+// live Matchers must each account only their own work: driving one
+// must not move the other's counters at all.
+func TestObsScopedPerMatcher(t *testing.T) {
+	g1, ks := serveSupportFixture(t, 24)
+	g2, _ := serveSupportFixture(t, 24)
+	m1, err := NewMatcher(g1, ks, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMatcher(g2, ks, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drive := func(m *Matcher, tag string) {
+		for i := 0; i < 8; i++ {
+			id := EntityID(fmt.Sprintf("%s%d", tag, i))
+			d := NewDelta().AddEntity(id, "person")
+			d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", i%3))
+			if _, _, err := m.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Construction runs the initial chase, so both start nonzero; what
+	// matters is who moves when only m1 works.
+	base1, base2 := substrateCounts(m1), substrateCounts(m2)
+	drive(m1, "x")
+	if got := substrateCounts(m1); got <= base1 {
+		t.Fatalf("driving m1 did not move its own substrate counters (%d -> %d)", base1, got)
+	}
+	if got := substrateCounts(m2); got != base2 {
+		t.Fatalf("driving m1 moved m2's substrate counters (%d -> %d): obs handles are cross-wired", base2, got)
+	}
+
+	// And symmetrically.
+	base1, base2 = substrateCounts(m1), substrateCounts(m2)
+	drive(m2, "y")
+	if got := substrateCounts(m2); got <= base2 {
+		t.Fatalf("driving m2 did not move its own substrate counters (%d -> %d)", base2, got)
+	}
+	if got := substrateCounts(m1); got != base1 {
+		t.Fatalf("driving m2 moved m1's substrate counters (%d -> %d): obs handles are cross-wired", base1, got)
+	}
+}
+
+// TestSamePairLabelsDoesNotMutateArg is the regression test for the
+// snapshot aliasing bug: samePairLabels sorted its second argument in
+// place, but OpenMatcher passes the WAL store's own snapshot-pairs
+// slice — the comparison must not reorder caller-owned data.
+func TestSamePairLabelsDoesNotMutateArg(t *testing.T) {
+	sorted := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}}
+	arg := [][2]string{{"b", "d"}, {"a", "c"}, {"a", "b"}} // deliberately unsorted
+	orig := append([][2]string(nil), arg...)
+	if !samePairLabels(sorted, arg) {
+		t.Fatal("equal pair sets compared unequal")
+	}
+	if !reflect.DeepEqual(arg, orig) {
+		t.Fatalf("samePairLabels reordered its argument: %v -> %v", orig, arg)
+	}
+	if samePairLabels(sorted, [][2]string{{"a", "b"}, {"a", "c"}, {"b", "e"}}) {
+		t.Fatal("different pair sets compared equal")
+	}
+}
+
+// TestSnapshotStableAcrossReopen: opening a durable matcher
+// cross-checks the stored pairs against the re-derived fixpoint; that
+// check must treat the snapshot as read-only — the snapshot file is
+// byte-identical before and after a reopen, and a re-snapshot of
+// unchanged state reproduces it.
+func TestSnapshotStableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	_, ks := serveSupportFixture(t, 0)
+	m, err := OpenMatcher(dir, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta()
+	for i := 0; i < 6; i++ {
+		id := EntityID(fmt.Sprintf("p%d", i))
+		d.AddEntity(id, "person")
+		d.AddValueTriple(id, "email", fmt.Sprintf("mail%d", i/2))
+	}
+	if _, _, err := m.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Result().Matches) == 0 {
+		t.Fatal("fixture identified nothing")
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "snapshot")
+	before, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := OpenMatcher(dir, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("reopen rewrote the snapshot:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	// Re-snapshotting unchanged state is deterministic.
+	if err := m2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(again) {
+		t.Fatalf("re-snapshot of unchanged state differs:\nbefore:\n%s\nafter:\n%s", before, again)
+	}
+}
+
+// TestWriterFailureAccounting pins the Writer's drain-after-error
+// contract: a delta that fails validation mid-stream surfaces as the
+// sticky error on Flush/Apply/Close, is counted in Stats.Failed, and
+// does not stall the stream — every delta enqueued before the error is
+// still processed, and good ones still mutate the matcher.
+func TestWriterFailureAccounting(t *testing.T) {
+	g, ks := serveSupportFixture(t, 4)
+	m, err := NewMatcher(g, ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.NewWriter()
+
+	const good = 6
+	for i := 0; i < good; i++ {
+		id := EntityID(fmt.Sprintf("n%d", i))
+		d := NewDelta().AddEntity(id, "person")
+		d.AddValueTriple(id, "email", fmt.Sprintf("newmail%d", i/2))
+		if err := w.Apply(d); err != nil {
+			t.Fatalf("good delta %d: %v", i, err)
+		}
+	}
+	// The poison pill: an edge from an entity that doesn't exist fails
+	// delta validation.
+	bad := NewDelta().AddEntityTriple("no-such-entity", "knows", "p0")
+	if err := w.Apply(bad); err != nil {
+		t.Fatal(err) // enqueue succeeds; the failure is asynchronous
+	}
+	// A good delta after the bad one: if its enqueue beats the sticky
+	// error it is still processed (the drain contract); if not, Apply
+	// rejects it with that error. Both are legal.
+	tail := NewDelta().AddEntity("tail", "person")
+	tail.AddValueTriple("tail", "email", "newmail0")
+	tailErr := w.Apply(tail)
+
+	ferr := w.Flush()
+	if ferr == nil {
+		t.Fatal("Flush after a failing delta returned nil")
+	}
+	if tailErr != nil && !errors.Is(tailErr, ferr) {
+		t.Fatalf("tail Apply failed with %v, not the sticky error %v", tailErr, ferr)
+	}
+	// The error is sticky: new work is rejected with it, and Close
+	// reports it too.
+	if err := w.Apply(NewDelta().AddEntity("late", "person")); err == nil {
+		t.Fatal("Apply after sticky error succeeded")
+	}
+	if err := w.TryApply(NewDelta().AddEntity("late2", "person")); err == nil {
+		t.Fatal("TryApply after sticky error succeeded")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close after a failing delta returned nil")
+	}
+
+	st := w.Stats()
+	if st.Failed != 1 {
+		t.Fatalf("Stats.Failed = %d, want 1", st.Failed)
+	}
+	// Every enqueued delta was processed — done advances by whole
+	// batches, failed or not. tail's enqueue may or may not have beaten
+	// the sticky error, so allow both.
+	if st.Deltas != good+2 && st.Deltas != good+1 {
+		t.Fatalf("Stats.Deltas = %d, want %d or %d", st.Deltas, good+1, good+2)
+	}
+	if st.Deltas-st.Failed < good {
+		t.Fatalf("only %d deltas applied, want >= %d", st.Deltas-st.Failed, good)
+	}
+
+	// The good deltas really mutated the matcher.
+	for i := 0; i < good; i++ {
+		id := EntityID(fmt.Sprintf("n%d", i))
+		if _, ok := m.Canonical(id); !ok {
+			t.Fatalf("good delta %d did not apply: %s unknown", i, id)
+		}
+	}
+	// And the failure counter surfaced on the registry.
+	if v := m.Metrics().Counters["writer.failed"]; v != 1 {
+		t.Fatalf("writer.failed counter = %d, want 1", v)
+	}
+	// The matcher is still coherent: a fresh full match agrees.
+	full, err := Match(m.Graph(), ks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedPairs(m.Result().Matches), sortedPairs(full.Matches)) {
+		t.Fatal("matcher state diverges from full re-chase after failed delta")
+	}
+}

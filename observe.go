@@ -36,6 +36,13 @@ func (m *Matcher) Metrics() Metrics {
 	return m.reg.Snapshot()
 }
 
+// Registry exposes the matcher's metrics registry so embedding layers
+// (e.g. a server wrapping the matcher) can add their own instruments
+// to the same catalog — one scrape covers the whole process.
+func (m *Matcher) Registry() *obs.Registry {
+	return m.reg
+}
+
 // MetricsHandler returns an HTTP handler serving the matcher's
 // instruments: Prometheus text exposition at /metrics, a JSON
 // snapshot at /vars, and the tracer's recent phase spans at /events.
@@ -142,11 +149,11 @@ func (e *Explanation) Target() Pair { return Pair{A: e.A, B: e.B} }
 
 // registerObs builds the matcher's registry, tracer and per-layer
 // instruments and threads them through the layers the matcher owns.
-// The engine substrate's and candidate pipeline's hooks are
-// process-global (engine.Parallel and match.CandidateStream run on
-// free functions / hot inner loops): when several Matchers coexist,
-// the engine.* and match.* metrics land in the most recently
-// constructed one's registry.
+// The engine substrate's and candidate pipeline's bundles are handles
+// held on the Matcher and passed down through match.Options — never
+// process globals — so N coexisting Matchers each keep their own
+// engine.* and match.* series (the serving layer runs exactly that
+// shape).
 func (m *Matcher) registerObs() {
 	m.reg = obs.NewRegistry()
 	m.trace = obs.NewTracer(256)
@@ -154,6 +161,6 @@ func (m *Matcher) registerObs() {
 	m.obBatch = m.reg.Histogram("matcher.apply_batch_ns", "ApplyBatch latency", obs.DurationBuckets())
 	m.obBatchSize = m.reg.Histogram("matcher.batch_size", "deltas per ApplyBatch", obs.SizeBuckets())
 	m.g.g.RegisterObs(m.reg)
-	engine.RegisterObs(m.reg)
-	match.RegisterObs(m.reg)
+	m.obEng = engine.NewObs(m.reg)
+	m.obMatch = match.NewObs(m.reg)
 }

@@ -1,11 +1,17 @@
 package graphkeys
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"graphkeys/internal/obs"
 )
+
+// ErrWriterBusy is returned by TryApply when the queue is full: the
+// caller should shed load or retry later (an HTTP front maps it to
+// 429 Too Many Requests).
+var ErrWriterBusy = errors.New("graphkeys: Writer queue is full")
 
 // Writer is the asynchronous front of a Matcher's write path for
 // high-rate streams of small deltas: Apply enqueues and returns
@@ -21,9 +27,14 @@ import (
 // of conflicting deltas inside a batch is unspecified. Errors are
 // sticky and fail-stop: the first per-delta failure is reported by
 // every subsequent Apply, Flush and Close, and new deltas are
-// rejected from then on (deltas already enqueued still drain; the
-// matcher state itself stays coherent, since a failed delta is
-// skipped). Create a fresh Writer to resume the stream.
+// rejected from then on. Drain-after-error contract: deltas already
+// enqueued when the error struck still drain — they are processed (and
+// counted in Stats.Deltas) rather than dropped, the matcher state
+// stays coherent (a failed delta is skipped, the rest of its batch
+// applies), and Flush/Close return once everything enqueued before
+// them has been processed, reporting the sticky error. Failed deltas
+// are visible in Stats.Failed and the writer.failed counter. Create a
+// fresh Writer to resume the stream.
 //
 // The queue is bounded (maxPending deltas): a producer that
 // sustainably outpaces the batcher blocks in Apply instead of growing
@@ -45,8 +56,10 @@ type Writer struct {
 	enqueued int
 	done     int
 	// batches counts completed batches, for observability and
-	// coalescing tests.
+	// coalescing tests. failed counts deltas whose application failed
+	// (they still advance done: done tracks processed, not succeeded).
 	batches int
+	failed  int
 
 	// Instruments from the matcher's registry (shared across the
 	// matcher's Writers): live queue depth, the enqueued/batch
@@ -56,6 +69,7 @@ type Writer struct {
 	obDeltas    *obs.Counter
 	obBatches   *obs.Counter
 	obBatchSize *obs.Histogram
+	obFailed    *obs.Counter
 }
 
 // maxPending bounds the Writer queue: Apply blocks once this many
@@ -70,6 +84,7 @@ func (m *Matcher) NewWriter() *Writer {
 		obDeltas:    m.reg.Counter("writer.deltas", "deltas enqueued"),
 		obBatches:   m.reg.Counter("writer.batches", "batches applied (deltas/batches = coalesce ratio)"),
 		obBatchSize: m.reg.Histogram("writer.batch_size", "deltas per coalesced batch", obs.SizeBuckets()),
+		obFailed:    m.reg.Counter("writer.failed", "deltas whose application failed"),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
@@ -93,6 +108,34 @@ func (w *Writer) Apply(d *Delta) error {
 	}
 	if w.err != nil {
 		return w.err
+	}
+	w.queue = append(w.queue, d)
+	w.enqueued++
+	w.obQueue.Inc()
+	w.obDeltas.Inc()
+	w.cond.Broadcast()
+	return nil
+}
+
+// TryApply is Apply without the backpressure wait: a full queue
+// returns ErrWriterBusy immediately instead of blocking, so a serving
+// front can shed load (HTTP 429) rather than stall its handler
+// goroutines. Like Apply it fails after Close or once a previous
+// delta has failed (sticky error).
+func (w *Writer) TryApply(d *Delta) error {
+	if d == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("graphkeys: Writer is closed")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.queue) >= maxPending {
+		return ErrWriterBusy
 	}
 	w.queue = append(w.queue, d)
 	w.enqueued++
@@ -130,12 +173,27 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
-// Stats reports how many batches and deltas the writer has applied —
-// batches < deltas means enqueues coalesced.
-func (w *Writer) Stats() (batches, deltas int) {
+// WriterStats is a Writer's progress accounting. Deltas counts every
+// delta a batch has processed — applied or failed — so
+// Deltas - Failed is the number that actually mutated the matcher;
+// Batches < Deltas means enqueues coalesced.
+type WriterStats struct {
+	// Batches is the number of completed ApplyBatch calls.
+	Batches int
+	// Deltas is the number of deltas processed (drained from the
+	// queue), including failed ones.
+	Deltas int
+	// Failed is the number of processed deltas whose application
+	// failed — skipped by the batch's partial semantics, observable
+	// here and as the writer.failed counter.
+	Failed int
+}
+
+// Stats reports the writer's progress so far.
+func (w *Writer) Stats() WriterStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.batches, w.done
+	return WriterStats{Batches: w.batches, Deltas: w.done, Failed: w.failed}
 }
 
 func (w *Writer) loop() {
@@ -160,13 +218,20 @@ func (w *Writer) loop() {
 		w.cond.Broadcast()
 		w.mu.Unlock()
 
-		_, _, err := w.m.ApplyBatch(batch)
+		_, _, applied, err := w.m.applyBatch(batch)
 
 		w.mu.Lock()
 		w.busy = false
 		w.batches++
 		w.obBatches.Inc()
+		// done advances by the whole batch — processed, not succeeded —
+		// so Flush marks are always eventually beaten even when deltas
+		// fail; the failures stay visible in failed/writer.failed.
 		w.done += len(batch)
+		if nf := len(batch) - applied; nf > 0 {
+			w.failed += nf
+			w.obFailed.Add(int64(nf))
+		}
 		if err != nil && w.err == nil {
 			w.err = err
 		}
